@@ -1,0 +1,71 @@
+// Command circgen materialises benchmark circuits as ISCAS .bench files:
+// either one of the built-in profile stand-ins (c432 ... s38584), one of the
+// embedded/parametric circuits (c17, paper, adder16, ...), or a custom
+// synthetic circuit described by flags.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/circuit"
+)
+
+func main() {
+	var (
+		name    = flag.String("circuit", "", "built-in circuit or profile name")
+		list    = flag.Bool("list", false, "list all built-in circuit names")
+		out     = flag.String("out", "", "output file (default: stdout)")
+		inputs  = flag.Int("inputs", 0, "custom circuit: number of primary inputs")
+		outputs = flag.Int("outputs", 0, "custom circuit: number of primary outputs")
+		gates   = flag.Int("gates", 0, "custom circuit: number of gates")
+		depth   = flag.Int("depth", 0, "custom circuit: target logic depth")
+		seed    = flag.Int64("seed", 1, "custom circuit: generator seed")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, n := range bench.Names() {
+			fmt.Println(n)
+		}
+		return
+	}
+
+	var (
+		c   *circuit.Circuit
+		err error
+	)
+	switch {
+	case *name != "":
+		c, err = bench.Get(*name)
+	case *gates > 0:
+		p := bench.Profile{
+			Name: "custom", Inputs: *inputs, Outputs: *outputs, Gates: *gates, Depth: *depth, Seed: *seed,
+			InputFaninBias: 0.5, WideFaninFraction: 0.15, InverterFraction: 0.25,
+		}
+		c, err = bench.Synthesize(p)
+	default:
+		err = fmt.Errorf("either -circuit or a custom -gates/-inputs/-outputs description is required")
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "circgen:", err)
+		os.Exit(1)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "circgen:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := circuit.WriteBench(w, c); err != nil {
+		fmt.Fprintln(os.Stderr, "circgen:", err)
+		os.Exit(1)
+	}
+}

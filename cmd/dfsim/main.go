@@ -1,0 +1,94 @@
+// Command dfsim is a parallel-pattern path delay fault simulator: it reads a
+// test set (as written by cmd/tip) and reports the robust and nonrobust path
+// delay fault coverage over a sample of the circuit's faults.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/circuit"
+	"repro/internal/faultsim"
+	"repro/internal/paths"
+	"repro/internal/pattern"
+)
+
+func main() {
+	var (
+		circuitName = flag.String("circuit", "", "built-in circuit name")
+		benchFile   = flag.String("bench", "", "path to an ISCAS .bench file")
+		patternFile = flag.String("patterns", "", "test set file (as written by cmd/tip -out)")
+		sample      = flag.Int("sample", 1000, "number of faults to sample (0 = enumerate all; beware of path explosion)")
+		seed        = flag.Int64("seed", 1, "fault sampling seed")
+	)
+	flag.Parse()
+
+	c, err := loadCircuit(*circuitName, *benchFile)
+	if err != nil {
+		fail(err)
+	}
+	if *patternFile == "" {
+		fail(fmt.Errorf("-patterns is required"))
+	}
+	f, err := os.Open(*patternFile)
+	if err != nil {
+		fail(err)
+	}
+	set, err := pattern.Read(f)
+	f.Close()
+	if err != nil {
+		fail(err)
+	}
+	if set.Len() == 0 {
+		fail(fmt.Errorf("test set %s is empty", *patternFile))
+	}
+	if got, want := set.Pairs[0].Len(), len(c.Inputs()); got != want {
+		fail(fmt.Errorf("test set has %d inputs per vector, circuit has %d", got, want))
+	}
+
+	var faults []paths.Fault
+	if *sample <= 0 {
+		faults = paths.EnumerateFaults(c, 0)
+	} else {
+		faults = paths.SampleFaults(c, *sample, *seed)
+	}
+
+	fmt.Printf("circuit: %s\n", c)
+	fmt.Printf("test pairs: %d, faults simulated: %d\n", set.Len(), len(faults))
+	for _, robust := range []bool{false, true} {
+		cov, err := faultsim.Coverage(c, set.Pairs, faults, robust)
+		if err != nil {
+			fail(err)
+		}
+		label := "nonrobust"
+		if robust {
+			label = "robust"
+		}
+		fmt.Printf("%-10s coverage: %6.2f%%\n", label, cov*100)
+	}
+}
+
+func loadCircuit(name, file string) (*circuit.Circuit, error) {
+	switch {
+	case name != "" && file != "":
+		return nil, fmt.Errorf("use either -circuit or -bench, not both")
+	case name != "":
+		return bench.Get(name)
+	case file != "":
+		f, err := os.Open(file)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return circuit.ParseBench(file, f)
+	default:
+		return nil, fmt.Errorf("one of -circuit or -bench is required")
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "dfsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,124 @@
+// Command experiments reproduces the tables of the paper: robust and
+// nonrobust ATPG over the ISCAS85-class suite (Tables 3 and 4), the
+// bit-parallel versus single-bit comparison on the ISCAS89-class suite
+// (Tables 5 and 6), the comparison against a conventional structural
+// generator (Tables 7 and 8), the headline speed-up summary, and the
+// ablation studies described in DESIGN.md.
+//
+// Usage:
+//
+//	experiments -table 5                # one table at full size
+//	experiments -all -quick             # everything, scaled down
+//	experiments -summary                # speed-up summary (Section 5 prose)
+//	experiments -ablations
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/harness"
+	"repro/internal/sensitize"
+)
+
+func main() {
+	var (
+		table     = flag.Int("table", 0, "reproduce a single table (3-8)")
+		all       = flag.Bool("all", false, "reproduce every table")
+		summary   = flag.Bool("summary", false, "print the speed-up summary over Tables 5 and 6")
+		ablations = flag.Bool("ablations", false, "run the ablation studies")
+		quick     = flag.Bool("quick", false, "use scaled-down circuits and fewer faults")
+		scale     = flag.Float64("scale", 0, "override the circuit scale factor (1.0 = published size)")
+		faults    = flag.Int("faults", 0, "override the number of faults sampled per circuit")
+		seed      = flag.Int64("seed", 1995, "fault sampling seed")
+	)
+	flag.Parse()
+
+	baseCfg := func(mode sensitize.Mode) harness.Config {
+		cfg := harness.DefaultConfig(mode)
+		if *quick {
+			cfg = harness.QuickConfig(mode)
+		}
+		if *scale > 0 {
+			cfg.Scale = *scale
+		}
+		if *faults > 0 {
+			cfg.FaultsPerCircuit = *faults
+		}
+		cfg.Seed = *seed
+		return cfg
+	}
+
+	ran := false
+	runTable := func(n int) {
+		ran = true
+		switch n {
+		case 3:
+			fmt.Print(harness.FormatATPGTable("Table 3: robust ATPG for the ISCAS85-class circuits",
+				harness.RunTable3(baseCfg(sensitize.Robust))))
+		case 4:
+			fmt.Print(harness.FormatATPGTable("Table 4: nonrobust ATPG for the ISCAS85-class circuits",
+				harness.RunTable4(baseCfg(sensitize.Nonrobust))))
+		case 5:
+			fmt.Print(harness.FormatSpeedupTable("Table 5: bit-parallel vs single-bit generation (robust)",
+				harness.RunTable5(baseCfg(sensitize.Robust))))
+		case 6:
+			fmt.Print(harness.FormatSpeedupTable("Table 6: bit-parallel vs single-bit generation (nonrobust)",
+				harness.RunTable6(baseCfg(sensitize.Nonrobust))))
+		case 7:
+			fmt.Print(harness.FormatCompareTable("Table 7: TIP vs structural baseline, nonrobust (L=32)",
+				harness.RunTable7(baseCfg(sensitize.Nonrobust))))
+		case 8:
+			fmt.Print(harness.FormatCompareTable("Table 8: TIP vs structural baseline, robust (L=32)",
+				harness.RunTable8(baseCfg(sensitize.Robust))))
+		default:
+			fmt.Fprintf(os.Stderr, "experiments: unknown table %d (want 3-8)\n", n)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+
+	if *table != 0 {
+		runTable(*table)
+	}
+	if *all {
+		for n := 3; n <= 8; n++ {
+			runTable(n)
+		}
+	}
+	if *summary {
+		ran = true
+		rows5 := harness.RunTable5(baseCfg(sensitize.Robust))
+		avg5, max5 := harness.SpeedupSummary(rows5)
+		rows6 := harness.RunTable6(baseCfg(sensitize.Nonrobust))
+		avg6, max6 := harness.SpeedupSummary(rows6)
+		fmt.Println("Speed-up summary (paper: average about five, maximum up to nine):")
+		fmt.Printf("  robust    (Table 5): average %.1fx, maximum %.1fx\n", avg5, max5)
+		fmt.Printf("  nonrobust (Table 6): average %.1fx, maximum %.1fx\n", avg6, max6)
+		fmt.Println()
+	}
+	if *ablations {
+		ran = true
+		cfg := baseCfg(sensitize.Nonrobust)
+		fmt.Print(harness.FormatAblationTable("Ablation: word width L", harness.RunWordWidthAblation(cfg, nil)))
+		fmt.Println()
+		fmt.Print(harness.FormatAblationTable("Ablation: FPTPG / APTPG / combined", harness.RunModeAblation(cfg)))
+		fmt.Println()
+		fmt.Print(harness.FormatAblationTable("Ablation: interleaved fault simulation", harness.RunFaultSimAblation(cfg)))
+		fmt.Println()
+		fmt.Print(harness.FormatAblationTable("Ablation: subpath redundancy pruning", harness.RunPruningAblation(cfg)))
+		fmt.Println()
+		est := harness.RunCoverageEstimate(cfg, "s713", 500)
+		if est.Err != nil {
+			fmt.Fprintf(os.Stderr, "coverage estimate: %v\n", est.Err)
+		} else {
+			fmt.Printf("Coverage estimate (NEST-style, %s): %d patterns, %.1f%% of %d sampled faults covered\n",
+				est.Circuit, est.Patterns, est.Estimated*100, est.Sampled)
+		}
+	}
+	if !ran {
+		fmt.Fprintln(os.Stderr, "experiments: nothing to do; use -table N, -all, -summary or -ablations")
+		os.Exit(1)
+	}
+}

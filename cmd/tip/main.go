@@ -1,0 +1,119 @@
+// Command tip is the bit-parallel path delay fault test pattern generator
+// (named after the paper's tool).  It reads a benchmark circuit, selects a
+// set of target path delay faults, generates robust or nonrobust two-vector
+// tests for them and reports the per-fault outcome.
+//
+// Usage:
+//
+//	tip -circuit c432 -mode robust -faults 256
+//	tip -bench mydesign.bench -mode nonrobust -faults 1000 -out tests.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/logic"
+	"repro/internal/paths"
+	"repro/internal/sensitize"
+)
+
+func main() {
+	var (
+		circuitName = flag.String("circuit", "", "built-in circuit name (see cmd/circgen -list)")
+		benchFile   = flag.String("bench", "", "path to an ISCAS .bench file")
+		mode        = flag.String("mode", "robust", "test class: robust or nonrobust")
+		numFaults   = flag.Int("faults", 256, "number of target faults (0 = all structural faults; beware of path explosion)")
+		seed        = flag.Int64("seed", 1995, "seed for fault sampling")
+		width       = flag.Int("width", logic.WordWidth, "word width L (1..64); 1 is the single-bit baseline")
+		backtracks  = flag.Int("backtracks", 64, "backtrack limit per fault")
+		noFPTPG     = flag.Bool("no-fptpg", false, "disable fault-parallel generation")
+		noAPTPG     = flag.Bool("no-aptpg", false, "disable alternative-parallel generation")
+		out         = flag.String("out", "", "write the generated test set to this file")
+		verbose     = flag.Bool("v", false, "print one line per fault")
+	)
+	flag.Parse()
+
+	c, err := loadCircuit(*circuitName, *benchFile)
+	if err != nil {
+		fail(err)
+	}
+	m := sensitize.Robust
+	switch *mode {
+	case "robust":
+	case "nonrobust":
+		m = sensitize.Nonrobust
+	default:
+		fail(fmt.Errorf("unknown mode %q (want robust or nonrobust)", *mode))
+	}
+
+	fmt.Printf("circuit: %s\n", c)
+	fmt.Printf("structural paths: %s, path delay faults: %s\n",
+		paths.CountPaths(c).String(), paths.CountFaults(c).String())
+
+	var faults []paths.Fault
+	if *numFaults <= 0 {
+		faults = paths.EnumerateFaults(c, 0)
+	} else {
+		faults = paths.SampleFaults(c, *numFaults, *seed)
+	}
+	fmt.Printf("target faults: %d (%s)\n", len(faults), m)
+
+	opts := core.DefaultOptions(m)
+	opts.WordWidth = *width
+	opts.FaultSimInterval = *width
+	opts.MaxBacktracks = *backtracks
+	opts.UseFPTPG = !*noFPTPG
+	opts.UseAPTPG = !*noAPTPG
+
+	g := core.New(c, opts)
+	results := g.Run(faults)
+
+	if *verbose {
+		for _, r := range results {
+			fmt.Printf("  %-60s %-12s %s\n", r.Fault.Describe(c), r.Status, r.Phase)
+		}
+	}
+	st := g.Stats()
+	fmt.Printf("result: %s\n", st)
+	fmt.Printf("sensitization time: %s, generation time: %s\n", st.SensitizeTime, st.GenerateTime)
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		if err := g.TestSet().Write(f); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote %d test pairs to %s\n", g.TestSet().Len(), *out)
+	}
+}
+
+func loadCircuit(name, file string) (*circuit.Circuit, error) {
+	switch {
+	case name != "" && file != "":
+		return nil, fmt.Errorf("use either -circuit or -bench, not both")
+	case name != "":
+		return bench.Get(name)
+	case file != "":
+		f, err := os.Open(file)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return circuit.ParseBench(file, f)
+	default:
+		return nil, fmt.Errorf("one of -circuit or -bench is required")
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "tip:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,66 @@
+// Coverage estimation workflow: for a sequential ISCAS89-class circuit
+// (combinational part), generate nonrobust tests for a sample of faults,
+// then estimate the path delay fault coverage of the resulting compact test
+// set with the parallel-pattern fault simulator — the kind of question the
+// NEST comparison in Section 5 of the paper is about.
+//
+// Run with:
+//
+//	go run ./examples/coverage
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/faultsim"
+	"repro/internal/paths"
+	"repro/internal/pattern"
+	"repro/internal/sensitize"
+)
+
+func main() {
+	profile, _ := bench.ProfileByName("s1423")
+	c := bench.MustSynthesize(profile)
+	fmt.Println("circuit:", c)
+	fmt.Println("pseudo primary inputs stand in for the removed flip-flops; only the")
+	fmt.Println("combinational part is tested, exactly as in the paper.")
+	fmt.Println("path delay faults:", paths.CountFaults(c).String())
+	fmt.Println()
+
+	// Generate nonrobust tests for a sample of 768 faults.
+	faults := paths.SampleFaults(c, 768, 11)
+	gen := core.New(c, core.DefaultOptions(sensitize.Nonrobust))
+	gen.Run(faults)
+	st := gen.Stats()
+	fmt.Printf("generation: %s\n", st)
+
+	// Estimate the coverage of the generated test set over independent fault
+	// samples of growing size: the estimate stabilises as the sample grows.
+	set := gen.TestSet()
+	for _, sample := range []int{200, 1000, 4000} {
+		cov, n, err := faultsim.EstimateCoverage(c, set.Pairs, sample, int64(sample), false)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("estimated nonrobust coverage over %5d sampled faults: %.1f%%\n", n, cov*100)
+	}
+
+	// The same simulator also answers "which of my patterns does the work":
+	// count how many sampled faults each of the first few patterns detects.
+	sample := paths.SampleFaults(c, 1000, 99)
+	perPattern := make([]int, set.Len())
+	for i := range set.Pairs {
+		res, err := faultsim.Run(c, []pattern.Pair{set.Pairs[i]}, sample, false)
+		if err != nil {
+			panic(err)
+		}
+		perPattern[i] = res.NumDetected
+	}
+	fmt.Println()
+	fmt.Println("faults (of the 1000-fault sample) detected by each of the first 10 patterns:")
+	for i := 0; i < len(perPattern) && i < 10; i++ {
+		fmt.Printf("  pattern %2d: %4d\n", i, perPattern[i])
+	}
+}

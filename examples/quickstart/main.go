@@ -1,0 +1,47 @@
+// Quickstart: generate robust path delay fault tests for the ISCAS85 c17
+// benchmark and print every fault, its classification and its test pattern.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/paths"
+	"repro/internal/sensitize"
+)
+
+func main() {
+	// 1. Pick a circuit.  bench.Get also understands "c432", "adder16", a
+	//    parsed .bench file can be used instead (circuit.ParseBench).
+	c := bench.C17()
+	fmt.Println("circuit:", c)
+
+	// 2. Enumerate the target faults.  c17 is tiny, so all 22 path delay
+	//    faults (11 paths x 2 transitions) are targeted.
+	faults := paths.EnumerateFaults(c, 0)
+	fmt.Printf("targeting %d path delay faults (%s structural paths)\n\n",
+		len(faults), paths.CountPaths(c).String())
+
+	// 3. Run the bit-parallel generator with the default robust options:
+	//    FPTPG first, APTPG for the hard faults, fault simulation after
+	//    every 64 generated patterns.
+	gen := core.New(c, core.DefaultOptions(sensitize.Robust))
+	results := gen.Run(faults)
+
+	// 4. Inspect the per-fault results and the generated test set.
+	for _, r := range results {
+		line := fmt.Sprintf("%-32s %-24s", r.Fault.Describe(c), fmt.Sprintf("%s (%s)", r.Status, r.Phase))
+		if r.Status == core.Tested {
+			line += "  test: " + r.Test.String()
+		}
+		fmt.Println(line)
+	}
+	fmt.Println()
+	fmt.Println("summary:", gen.Stats().String())
+	fmt.Printf("test set (%d pairs):\n%s", gen.TestSet().Len(), gen.TestSet().String())
+}

@@ -1,0 +1,142 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/circuit"
+)
+
+// iscas85Profiles approximate the published structural characteristics of
+// the ISCAS85 circuits evaluated in Tables 3 and 4 of the paper.
+var iscas85Profiles = []Profile{
+	{Name: "c432", Inputs: 36, Outputs: 7, Gates: 160, Depth: 17, Seed: 432, InputFaninBias: 0.45, WideFaninFraction: 0.20, InverterFraction: 0.25},
+	{Name: "c499", Inputs: 41, Outputs: 32, Gates: 202, Depth: 11, Seed: 499, InputFaninBias: 0.40, WideFaninFraction: 0.25, InverterFraction: 0.20},
+	{Name: "c880", Inputs: 60, Outputs: 26, Gates: 383, Depth: 24, Seed: 880, InputFaninBias: 0.55, WideFaninFraction: 0.15, InverterFraction: 0.25},
+	{Name: "c1355", Inputs: 41, Outputs: 32, Gates: 546, Depth: 24, Seed: 1355, InputFaninBias: 0.40, WideFaninFraction: 0.15, InverterFraction: 0.20},
+	{Name: "c1908", Inputs: 33, Outputs: 25, Gates: 880, Depth: 40, Seed: 1908, InputFaninBias: 0.45, WideFaninFraction: 0.10, InverterFraction: 0.30},
+	{Name: "c2670", Inputs: 233, Outputs: 140, Gates: 1193, Depth: 32, Seed: 2670, InputFaninBias: 0.55, WideFaninFraction: 0.15, InverterFraction: 0.25},
+	{Name: "c3540", Inputs: 50, Outputs: 22, Gates: 1669, Depth: 47, Seed: 3540, InputFaninBias: 0.45, WideFaninFraction: 0.15, InverterFraction: 0.25},
+	{Name: "c5315", Inputs: 178, Outputs: 123, Gates: 2307, Depth: 49, Seed: 5315, InputFaninBias: 0.50, WideFaninFraction: 0.15, InverterFraction: 0.25},
+	{Name: "c6288", Inputs: 32, Outputs: 32, Gates: 2406, Depth: 124, Seed: 6288, InputFaninBias: 0.10, WideFaninFraction: 0.05, InverterFraction: 0.15},
+	{Name: "c7552", Inputs: 207, Outputs: 108, Gates: 3512, Depth: 43, Seed: 7552, InputFaninBias: 0.50, WideFaninFraction: 0.15, InverterFraction: 0.25},
+}
+
+// iscas89Profiles approximate the combinational parts of the ISCAS89
+// circuits evaluated in Tables 5 through 8 of the paper.  The input and
+// output counts include the pseudo primary inputs/outputs introduced by
+// removing the flip-flops.
+var iscas89Profiles = []Profile{
+	{Name: "s641", Inputs: 54, Outputs: 42, Gates: 379, Depth: 23, Seed: 641, Sequential: true, InputFaninBias: 0.55, WideFaninFraction: 0.15, InverterFraction: 0.30},
+	{Name: "s713", Inputs: 54, Outputs: 42, Gates: 393, Depth: 26, Seed: 713, Sequential: true, InputFaninBias: 0.55, WideFaninFraction: 0.15, InverterFraction: 0.30},
+	{Name: "s838", Inputs: 66, Outputs: 33, Gates: 446, Depth: 22, Seed: 838, Sequential: true, InputFaninBias: 0.55, WideFaninFraction: 0.15, InverterFraction: 0.30},
+	{Name: "s938", Inputs: 66, Outputs: 33, Gates: 446, Depth: 22, Seed: 938, Sequential: true, InputFaninBias: 0.55, WideFaninFraction: 0.15, InverterFraction: 0.30},
+	{Name: "s991", Inputs: 84, Outputs: 36, Gates: 519, Depth: 28, Seed: 991, Sequential: true, InputFaninBias: 0.55, WideFaninFraction: 0.15, InverterFraction: 0.30},
+	{Name: "s1196", Inputs: 32, Outputs: 31, Gates: 529, Depth: 24, Seed: 1196, Sequential: true, InputFaninBias: 0.50, WideFaninFraction: 0.15, InverterFraction: 0.25},
+	{Name: "s1238", Inputs: 32, Outputs: 31, Gates: 508, Depth: 22, Seed: 1238, Sequential: true, InputFaninBias: 0.50, WideFaninFraction: 0.15, InverterFraction: 0.25},
+	{Name: "s1269", Inputs: 55, Outputs: 47, Gates: 569, Depth: 26, Seed: 1269, Sequential: true, InputFaninBias: 0.50, WideFaninFraction: 0.15, InverterFraction: 0.25},
+	{Name: "s1423", Inputs: 91, Outputs: 79, Gates: 657, Depth: 53, Seed: 1423, Sequential: true, InputFaninBias: 0.55, WideFaninFraction: 0.15, InverterFraction: 0.30},
+	{Name: "s1494", Inputs: 14, Outputs: 25, Gates: 647, Depth: 17, Seed: 1494, Sequential: true, InputFaninBias: 0.45, WideFaninFraction: 0.20, InverterFraction: 0.25},
+	{Name: "s3271", Inputs: 142, Outputs: 130, Gates: 1572, Depth: 28, Seed: 3271, Sequential: true, InputFaninBias: 0.55, WideFaninFraction: 0.15, InverterFraction: 0.25},
+	{Name: "s5378", Inputs: 214, Outputs: 228, Gates: 2779, Depth: 25, Seed: 5378, Sequential: true, InputFaninBias: 0.55, WideFaninFraction: 0.15, InverterFraction: 0.25},
+	{Name: "s9234", Inputs: 247, Outputs: 250, Gates: 5597, Depth: 38, Seed: 9234, Sequential: true, InputFaninBias: 0.55, WideFaninFraction: 0.15, InverterFraction: 0.25},
+	{Name: "s13207", Inputs: 700, Outputs: 790, Gates: 7951, Depth: 38, Seed: 13207, Sequential: true, InputFaninBias: 0.60, WideFaninFraction: 0.15, InverterFraction: 0.25},
+	{Name: "s15850", Inputs: 611, Outputs: 684, Gates: 9772, Depth: 48, Seed: 15850, Sequential: true, InputFaninBias: 0.60, WideFaninFraction: 0.15, InverterFraction: 0.25},
+	{Name: "s38584", Inputs: 1464, Outputs: 1730, Gates: 19253, Depth: 40, Seed: 38584, Sequential: true, InputFaninBias: 0.60, WideFaninFraction: 0.15, InverterFraction: 0.25},
+}
+
+// ISCAS85Profiles returns the synthetic stand-ins for the ISCAS85 suite in
+// the order used by Tables 3 and 4.
+func ISCAS85Profiles() []Profile {
+	return append([]Profile(nil), iscas85Profiles...)
+}
+
+// ISCAS89Profiles returns the synthetic stand-ins for the ISCAS89 suite.
+func ISCAS89Profiles() []Profile {
+	return append([]Profile(nil), iscas89Profiles...)
+}
+
+// Profiles returns every built-in profile.
+func Profiles() []Profile {
+	out := append([]Profile(nil), iscas85Profiles...)
+	return append(out, iscas89Profiles...)
+}
+
+// ProfileByName looks up a built-in profile by circuit name (case
+// insensitive).
+func ProfileByName(name string) (Profile, bool) {
+	for _, p := range Profiles() {
+		if strings.EqualFold(p.Name, name) {
+			return p, true
+		}
+	}
+	return Profile{}, false
+}
+
+// Get returns a benchmark circuit by name.  Recognised names are:
+//
+//   - "c17", "paper", "redundant" — embedded reference circuits;
+//   - "adderN", "parityN", "muxN", "cmpN" — parametric circuits, e.g.
+//     "adder16";
+//   - any built-in profile name ("c432" … "c7552", "s641" … "s38584") —
+//     synthesized on demand.
+func Get(name string) (*circuit.Circuit, error) {
+	lower := strings.ToLower(strings.TrimSpace(name))
+	switch lower {
+	case "c17":
+		return C17(), nil
+	case "paper", "paper-example", "example":
+		return PaperExample(), nil
+	case "redundant", "redundant-example":
+		return RedundantExample(), nil
+	}
+	if n, ok := parsePrefixed(lower, "adder"); ok {
+		return Adder(n), nil
+	}
+	if n, ok := parsePrefixed(lower, "parity"); ok {
+		return ParityTree(n), nil
+	}
+	if n, ok := parsePrefixed(lower, "mux"); ok {
+		return MuxTree(n), nil
+	}
+	if n, ok := parsePrefixed(lower, "cmp"); ok {
+		return Comparator(n), nil
+	}
+	if p, ok := ProfileByName(lower); ok {
+		return Synthesize(p)
+	}
+	return nil, fmt.Errorf("bench: unknown circuit %q (known: %s)", name, strings.Join(Names(), ", "))
+}
+
+// Names lists every circuit name understood by Get, with parametric
+// families shown with a default size.
+func Names() []string {
+	names := []string{"c17", "paper", "redundant", "adder8", "parity8", "mux3", "cmp8"}
+	for _, p := range Profiles() {
+		names = append(names, p.Name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func parsePrefixed(s, prefix string) (int, bool) {
+	if !strings.HasPrefix(s, prefix) {
+		return 0, false
+	}
+	rest := s[len(prefix):]
+	if rest == "" {
+		return 0, false
+	}
+	n := 0
+	for _, r := range rest {
+		if r < '0' || r > '9' {
+			return 0, false
+		}
+		n = n*10 + int(r-'0')
+	}
+	if n <= 0 || n > 1<<20 {
+		return 0, false
+	}
+	return n, true
+}

@@ -1,0 +1,316 @@
+package circuit
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/logic"
+)
+
+// ParseBench reads a circuit in the ISCAS .bench format:
+//
+//	# comment
+//	INPUT(G1)
+//	OUTPUT(G17)
+//	G10 = NAND(G1, G3)
+//	G23 = DFF(G10)
+//
+// D flip-flops are removed: the DFF output becomes a pseudo primary input and
+// the DFF data input becomes a pseudo primary output, so the returned circuit
+// is purely combinational, exactly as in the paper's experimental setup.
+// Gates with a single fanin declared as AND/OR (NAND/NOR) are converted to
+// BUF (NOT).
+func ParseBench(name string, r io.Reader) (*Circuit, error) {
+	type rawGate struct {
+		out    string
+		kind   string
+		fanin  []string
+		isDFF  bool
+		lineNo int
+	}
+
+	var (
+		inputs   []string
+		outputs  []string
+		raws     []rawGate
+		lineNo   int
+		scanner  = bufio.NewScanner(r)
+		seenOuts = make(map[string]bool)
+	)
+	scanner.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for scanner.Scan() {
+		lineNo++
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		switch {
+		case hasPrefixFold(line, "INPUT"):
+			arg, err := parseParenArg(line, "INPUT")
+			if err != nil {
+				return nil, fmt.Errorf("%s:%d: %v", name, lineNo, err)
+			}
+			inputs = append(inputs, arg)
+		case hasPrefixFold(line, "OUTPUT"):
+			arg, err := parseParenArg(line, "OUTPUT")
+			if err != nil {
+				return nil, fmt.Errorf("%s:%d: %v", name, lineNo, err)
+			}
+			outputs = append(outputs, arg)
+		default:
+			eq := strings.Index(line, "=")
+			if eq < 0 {
+				return nil, fmt.Errorf("%s:%d: expected assignment, got %q", name, lineNo, line)
+			}
+			out := strings.TrimSpace(line[:eq])
+			rhs := strings.TrimSpace(line[eq+1:])
+			open := strings.Index(rhs, "(")
+			close := strings.LastIndex(rhs, ")")
+			if open < 0 || close < open {
+				return nil, fmt.Errorf("%s:%d: malformed gate expression %q", name, lineNo, rhs)
+			}
+			kind := strings.TrimSpace(rhs[:open])
+			args := splitArgs(rhs[open+1 : close])
+			if out == "" {
+				return nil, fmt.Errorf("%s:%d: gate with empty output name", name, lineNo)
+			}
+			if seenOuts[out] {
+				return nil, fmt.Errorf("%s:%d: net %q driven twice", name, lineNo, out)
+			}
+			seenOuts[out] = true
+			raws = append(raws, rawGate{
+				out:    out,
+				kind:   kind,
+				fanin:  args,
+				isDFF:  strings.EqualFold(kind, "DFF"),
+				lineNo: lineNo,
+			})
+		}
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, fmt.Errorf("%s: %v", name, err)
+	}
+
+	b := NewBuilder(name)
+	// Primary inputs first, then DFF outputs as pseudo primary inputs.
+	for _, in := range inputs {
+		b.Input(in)
+	}
+	dffInputs := make(map[string]string) // DFF output net -> DFF data input net
+	for _, rg := range raws {
+		if rg.isDFF {
+			if len(rg.fanin) != 1 {
+				return nil, fmt.Errorf("%s:%d: DFF %q must have exactly one input", name, rg.lineNo, rg.out)
+			}
+			b.PseudoInput(rg.out)
+			dffInputs[rg.out] = rg.fanin[0]
+		}
+	}
+
+	// Combinational gates in dependency order.  The .bench format allows
+	// forward references, so iterate until fixpoint.
+	pendingGates := make([]rawGate, 0, len(raws))
+	for _, rg := range raws {
+		if !rg.isDFF {
+			pendingGates = append(pendingGates, rg)
+		}
+	}
+	for len(pendingGates) > 0 {
+		progressed := false
+		remaining := pendingGates[:0]
+		for _, rg := range pendingGates {
+			ready := true
+			for _, f := range rg.fanin {
+				if _, ok := b.byName[f]; !ok {
+					ready = false
+					break
+				}
+			}
+			if !ready {
+				remaining = append(remaining, rg)
+				continue
+			}
+			progressed = true
+			kind, err := parseBenchKind(rg.kind, len(rg.fanin))
+			if err != nil {
+				return nil, fmt.Errorf("%s:%d: %v", name, rg.lineNo, err)
+			}
+			fanin := make([]NetID, len(rg.fanin))
+			for i, f := range rg.fanin {
+				fanin[i] = b.byName[f]
+			}
+			b.Gate(rg.out, kind, fanin...)
+			if b.Err() != nil {
+				return nil, fmt.Errorf("%s:%d: %v", name, rg.lineNo, b.Err())
+			}
+		}
+		if !progressed {
+			undefined := map[string]bool{}
+			for _, rg := range remaining {
+				for _, f := range rg.fanin {
+					if _, ok := b.byName[f]; !ok {
+						undefined[f] = true
+					}
+				}
+			}
+			names := make([]string, 0, len(undefined))
+			for n := range undefined {
+				names = append(names, n)
+			}
+			sort.Strings(names)
+			return nil, fmt.Errorf("%s: undriven or cyclic nets: %s", name, strings.Join(names, ", "))
+		}
+		pendingGates = remaining
+	}
+
+	// Primary outputs, then DFF data inputs as pseudo primary outputs.
+	for _, out := range outputs {
+		id, ok := b.byName[out]
+		if !ok {
+			return nil, fmt.Errorf("%s: OUTPUT(%s) references an undriven net", name, out)
+		}
+		b.Output(id)
+	}
+	dffOuts := make([]string, 0, len(dffInputs))
+	for q := range dffInputs {
+		dffOuts = append(dffOuts, q)
+	}
+	sort.Strings(dffOuts)
+	for _, q := range dffOuts {
+		d := dffInputs[q]
+		id, ok := b.byName[d]
+		if !ok {
+			return nil, fmt.Errorf("%s: DFF %q data input %q is undriven", name, q, d)
+		}
+		b.PseudoOutput(id)
+	}
+
+	return b.Build()
+}
+
+// ParseBenchString is a convenience wrapper around ParseBench.
+func ParseBenchString(name, src string) (*Circuit, error) {
+	return ParseBench(name, strings.NewReader(src))
+}
+
+// WriteBench writes the circuit in .bench format.  Pseudo primary
+// inputs/outputs that stand in for removed flip-flops are emitted as regular
+// INPUT/OUTPUT statements with a comment noting their origin, so the output
+// always describes the combinational circuit that the tools operate on.
+func WriteBench(w io.Writer, c *Circuit) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# %s\n", c.Name)
+	st := c.Stats()
+	fmt.Fprintf(bw, "# %d inputs, %d outputs, %d gates, depth %d\n", st.Inputs, st.Outputs, st.Gates, st.MaxLevel)
+	for _, in := range c.Inputs() {
+		g := c.Gate(in)
+		if g.PseudoInput {
+			fmt.Fprintf(bw, "INPUT(%s)  # pseudo input (DFF output)\n", g.Name)
+		} else {
+			fmt.Fprintf(bw, "INPUT(%s)\n", g.Name)
+		}
+	}
+	for _, out := range c.Outputs() {
+		g := c.Gate(out)
+		if g.PseudoOutput {
+			fmt.Fprintf(bw, "OUTPUT(%s)  # pseudo output (DFF input)\n", g.Name)
+		} else {
+			fmt.Fprintf(bw, "OUTPUT(%s)\n", g.Name)
+		}
+	}
+	for _, id := range c.TopoOrder() {
+		g := c.Gate(id)
+		if g.Kind == logic.Input {
+			continue
+		}
+		names := make([]string, len(g.Fanin))
+		for i, f := range g.Fanin {
+			names[i] = c.NetName(f)
+		}
+		switch g.Kind {
+		case logic.Const0:
+			fmt.Fprintf(bw, "%s = CONST0()\n", g.Name)
+		case logic.Const1:
+			fmt.Fprintf(bw, "%s = CONST1()\n", g.Name)
+		default:
+			fmt.Fprintf(bw, "%s = %s(%s)\n", g.Name, benchKindName(g.Kind), strings.Join(names, ", "))
+		}
+	}
+	return bw.Flush()
+}
+
+// BenchString renders the circuit as a .bench text.
+func BenchString(c *Circuit) string {
+	var sb strings.Builder
+	_ = WriteBench(&sb, c)
+	return sb.String()
+}
+
+func benchKindName(k logic.Kind) string {
+	switch k {
+	case logic.Buf:
+		return "BUFF"
+	case logic.Not:
+		return "NOT"
+	default:
+		return k.String()
+	}
+}
+
+func parseBenchKind(s string, arity int) (logic.Kind, error) {
+	kind, err := logic.ParseKind(s)
+	if err != nil {
+		return logic.Buf, err
+	}
+	if arity == 1 {
+		// Single-input AND/OR behave as buffers, NAND/NOR as inverters.
+		switch kind {
+		case logic.And, logic.Or, logic.Xor:
+			return logic.Buf, nil
+		case logic.Nand, logic.Nor, logic.Xnor:
+			return logic.Not, nil
+		}
+	}
+	if arity == 0 && kind != logic.Const0 && kind != logic.Const1 {
+		return logic.Buf, fmt.Errorf("gate kind %v needs at least one input", kind)
+	}
+	return kind, nil
+}
+
+func hasPrefixFold(s, prefix string) bool {
+	if len(s) < len(prefix) {
+		return false
+	}
+	return strings.EqualFold(s[:len(prefix)], prefix)
+}
+
+func parseParenArg(line, keyword string) (string, error) {
+	rest := strings.TrimSpace(line[len(keyword):])
+	if !strings.HasPrefix(rest, "(") {
+		return "", fmt.Errorf("malformed %s statement %q", keyword, line)
+	}
+	close := strings.Index(rest, ")")
+	if close < 0 {
+		return "", fmt.Errorf("missing ')' in %s statement %q", keyword, line)
+	}
+	arg := strings.TrimSpace(rest[1:close])
+	if arg == "" {
+		return "", fmt.Errorf("empty net name in %s statement %q", keyword, line)
+	}
+	return arg, nil
+}
+
+func splitArgs(s string) []string {
+	parts := strings.Split(s, ",")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,267 @@
+// Package core implements the paper's primary contribution: bit-parallel
+// test pattern generation for path delay faults.
+//
+// Two modes of bit parallelism are combined, exactly as in Section 3 of the
+// paper:
+//
+//   - FPTPG (fault-parallel test pattern generation) sensitizes up to L
+//     target faults simultaneously, one per bit level, and justifies them
+//     with shared bit-parallel implications.  Levels that conflict before
+//     any optional decision prove their fault redundant; levels whose
+//     requirements become justified yield a test.
+//
+//   - APTPG (alternative-parallel test pattern generation) takes a single
+//     hard fault, flattens it onto all L bit levels and enumerates all value
+//     combinations of up to log2(L) backtrace-selected primary inputs in
+//     parallel, one combination per bit level.  Further decisions are made
+//     conventionally (one value for all levels) and backtracked on conflict.
+//
+// The combined generator starts every fault in FPTPG and dynamically passes
+// faults that would need backtracking to APTPG.  Restricting the word width
+// to one bit yields the single-bit baseline used for the comparison in
+// Tables 5 and 6 of the paper.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/logic"
+	"repro/internal/paths"
+	"repro/internal/pattern"
+	"repro/internal/sensitize"
+)
+
+// Status is the final classification of a target fault.
+type Status uint8
+
+// Fault classifications.
+const (
+	// Pending: not yet processed.
+	Pending Status = iota
+	// Tested: a test pattern was generated for the fault.
+	Tested
+	// Redundant: the fault was proved untestable (in the selected test
+	// class).
+	Redundant
+	// Aborted: the generator gave up within its backtrack/iteration limits.
+	Aborted
+	// DetectedBySim: the fault was dropped because a pattern generated for
+	// another fault already detects it (found by the interleaved fault
+	// simulation).
+	DetectedBySim
+)
+
+// String returns a short lower-case name for the status.
+func (s Status) String() string {
+	switch s {
+	case Pending:
+		return "pending"
+	case Tested:
+		return "tested"
+	case Redundant:
+		return "redundant"
+	case Aborted:
+		return "aborted"
+	case DetectedBySim:
+		return "detected-by-simulation"
+	}
+	return fmt.Sprintf("Status(%d)", uint8(s))
+}
+
+// Detected reports whether the fault is covered by the generated test set
+// (either by its own test or by another fault's test).
+func (s Status) Detected() bool { return s == Tested || s == DetectedBySim }
+
+// Phase identifies which part of the generator settled a fault.
+type Phase uint8
+
+// Generator phases.
+const (
+	PhaseNone Phase = iota
+	PhaseFPTPG
+	PhaseAPTPG
+	PhaseSimulation
+	PhasePruning
+)
+
+// String returns a short name for the phase.
+func (p Phase) String() string {
+	switch p {
+	case PhaseFPTPG:
+		return "fptpg"
+	case PhaseAPTPG:
+		return "aptpg"
+	case PhaseSimulation:
+		return "simulation"
+	case PhasePruning:
+		return "pruning"
+	}
+	return "none"
+}
+
+// Options configure the generator.
+type Options struct {
+	// Mode selects robust or nonrobust test generation.
+	Mode sensitize.Mode
+	// WordWidth is the number of bit levels L exploited (1..64).  Width 1 is
+	// the single-bit baseline of Tables 5 and 6.
+	WordWidth int
+	// UseFPTPG enables the fault-parallel first phase.
+	UseFPTPG bool
+	// UseAPTPG enables the alternative-parallel second phase.  With both
+	// phases disabled every fault is aborted, so at least one should be on.
+	UseAPTPG bool
+	// MaxEnumInputs caps the number of primary inputs enumerated in parallel
+	// by APTPG.  Zero or negative means log2(WordWidth), the paper's limit.
+	MaxEnumInputs int
+	// MaxBacktracks bounds the conventional backtracks per fault in APTPG
+	// before the fault is aborted.
+	MaxBacktracks int
+	// MaxFPTPGIterations bounds the decision rounds per FPTPG group.
+	MaxFPTPGIterations int
+	// FaultSimInterval runs parallel-pattern fault simulation over the
+	// pending faults after every FaultSimInterval generated patterns and
+	// drops the detected ones; 0 disables it.  The paper simulates after
+	// every L generated patterns.
+	FaultSimInterval int
+	// SubpathPruning records the minimal conflicting subpath of every fault
+	// proved redundant without decisions, and prunes later faults containing
+	// that subpath, as described for Figure 1 of the paper.
+	SubpathPruning bool
+	// MaxImplySweeps bounds the forward/backward rounds of every implication
+	// closure.  Small values trade implication completeness (more search)
+	// for cheaper individual implications; 0 uses the implication engine's
+	// default.
+	MaxImplySweeps int
+	// VerifyTests re-simulates every generated pattern and downgrades the
+	// fault to Aborted if the pattern does not actually detect it.  Enabled
+	// by default; it is cheap and guards against generator bugs.
+	VerifyTests bool
+	// FillValue is used for primary inputs the test does not constrain.
+	FillValue logic.Value3
+}
+
+// DefaultOptions returns the configuration used by the experiments: robust
+// or nonrobust mode with the full word width, both phases enabled, fault
+// simulation after every L patterns and moderate abort limits.
+func DefaultOptions(mode sensitize.Mode) Options {
+	return Options{
+		Mode:               mode,
+		WordWidth:          logic.WordWidth,
+		UseFPTPG:           true,
+		UseAPTPG:           true,
+		MaxEnumInputs:      0,
+		MaxBacktracks:      8,
+		MaxFPTPGIterations: 128,
+		FaultSimInterval:   logic.WordWidth,
+		SubpathPruning:     true,
+		MaxImplySweeps:     3,
+		VerifyTests:        true,
+		FillValue:          logic.Zero3,
+	}
+}
+
+// SingleBitOptions returns the single-bit baseline configuration: the same
+// algorithm restricted to one bit level, i.e. one fault and one value
+// alternative at a time, as used for the comparison in Tables 5 and 6.
+func SingleBitOptions(mode sensitize.Mode) Options {
+	o := DefaultOptions(mode)
+	o.WordWidth = 1
+	o.FaultSimInterval = 1
+	return o
+}
+
+// normalize clamps the options to legal values.
+func (o Options) normalize() Options {
+	if o.WordWidth < 1 {
+		o.WordWidth = 1
+	}
+	if o.WordWidth > logic.WordWidth {
+		o.WordWidth = logic.WordWidth
+	}
+	if o.MaxEnumInputs <= 0 {
+		o.MaxEnumInputs = log2(o.WordWidth)
+	}
+	if o.MaxBacktracks <= 0 {
+		o.MaxBacktracks = 8
+	}
+	if o.MaxFPTPGIterations <= 0 {
+		o.MaxFPTPGIterations = 128
+	}
+	if !o.FillValue.IsAssigned() {
+		o.FillValue = logic.Zero3
+	}
+	return o
+}
+
+func log2(n int) int {
+	l := 0
+	for n > 1 {
+		n >>= 1
+		l++
+	}
+	return l
+}
+
+// FaultResult is the outcome of the generator for one target fault.
+type FaultResult struct {
+	Fault  paths.Fault
+	Status Status
+	Phase  Phase
+	// Test is the generated two-vector test (valid when Status == Tested).
+	Test pattern.Pair
+	// PatternIndex is the index of the detecting pattern in the test set,
+	// for Tested and DetectedBySim faults; -1 otherwise.
+	PatternIndex int
+	// Decisions and Backtracks count the search effort spent on the fault.
+	Decisions  int
+	Backtracks int
+}
+
+// Stats aggregates a generator run.
+type Stats struct {
+	Faults          int
+	Tested          int
+	Redundant       int
+	Aborted         int
+	DetectedBySim   int
+	PrunedRedundant int
+
+	Patterns     int
+	FPTPGGroups  int
+	APTPGFaults  int
+	Decisions    int
+	Backtracks   int
+	Implications int
+
+	// SensitizeTime is the time spent computing sensitization conditions
+	// (the t_sens column of Tables 5 and 6); GenerateTime is the rest of the
+	// generation time.
+	SensitizeTime time.Duration
+	GenerateTime  time.Duration
+}
+
+// Efficiency returns the paper's efficiency metric
+// (1 - aborted/faults) * 100%.
+func (s Stats) Efficiency() float64 {
+	if s.Faults == 0 {
+		return 100
+	}
+	return (1 - float64(s.Aborted)/float64(s.Faults)) * 100
+}
+
+// Coverage returns the fraction of faults covered by the generated test set
+// (tested directly or detected by simulation).
+func (s Stats) Coverage() float64 {
+	if s.Faults == 0 {
+		return 0
+	}
+	return float64(s.Tested+s.DetectedBySim) / float64(s.Faults)
+}
+
+// String renders a one-line summary.
+func (s Stats) String() string {
+	return fmt.Sprintf("faults=%d tested=%d redundant=%d aborted=%d sim-detected=%d patterns=%d efficiency=%.2f%%",
+		s.Faults, s.Tested, s.Redundant, s.Aborted, s.DetectedBySim, s.Patterns, s.Efficiency())
+}

@@ -1,0 +1,697 @@
+package core
+
+import (
+	"math/bits"
+	"time"
+
+	"repro/internal/backtrace"
+	"repro/internal/circuit"
+	"repro/internal/faultsim"
+	"repro/internal/implic"
+	"repro/internal/logic"
+	"repro/internal/paths"
+	"repro/internal/pattern"
+	"repro/internal/sensitize"
+)
+
+// Generator is the bit-parallel path delay fault test pattern generator.
+// It is bound to one circuit and one option set; Run may be called several
+// times, accumulating into the same test set and statistics.
+type Generator struct {
+	c    *circuit.Circuit
+	opts Options
+
+	st      *implic.State
+	pruneSt *implic.State
+	cc      *backtrace.Controllability
+	sim     *faultsim.Simulator
+
+	testSet *pattern.Set
+	stats   Stats
+
+	// redundantPrefixes maps a subpath key (path prefix + launch transition)
+	// proved unsensitizable to true; faults containing such a prefix are
+	// redundant without further work.
+	redundantPrefixes map[string]bool
+
+	// newPatterns counts patterns generated since the last interleaved fault
+	// simulation; lastSimmed is the test-set index already simulated.
+	newPatterns int
+	lastSimmed  int
+}
+
+// rec is the per-fault working record.
+type rec struct {
+	fault  paths.Fault
+	res    *FaultResult
+	cond   sensitize.Conditions
+	sensOK bool
+}
+
+// New creates a generator for the circuit with the given options.
+func New(c *circuit.Circuit, opts Options) *Generator {
+	opts = opts.normalize()
+	g := &Generator{
+		c:                 c,
+		opts:              opts,
+		st:                implic.NewState(c),
+		pruneSt:           implic.NewState(c),
+		cc:                backtrace.NewControllability(c),
+		sim:               faultsim.New(c),
+		testSet:           pattern.NewSet(c),
+		redundantPrefixes: make(map[string]bool),
+	}
+	if opts.MaxImplySweeps > 0 {
+		g.st.MaxSweeps = opts.MaxImplySweeps
+		g.pruneSt.MaxSweeps = opts.MaxImplySweeps
+	}
+	return g
+}
+
+// Options returns the (normalized) options the generator runs with.
+func (g *Generator) Options() Options { return g.opts }
+
+// Circuit returns the circuit the generator operates on.
+func (g *Generator) Circuit() *circuit.Circuit { return g.c }
+
+// TestSet returns the test patterns generated so far.
+func (g *Generator) TestSet() *pattern.Set { return g.testSet }
+
+// Stats returns the accumulated statistics.
+func (g *Generator) Stats() Stats { return g.stats }
+
+// Run generates tests for the given target faults and returns one result per
+// fault, in the same order.
+func (g *Generator) Run(faults []paths.Fault) []FaultResult {
+	start := time.Now()
+	sensAtStart := g.stats.SensitizeTime
+
+	results := make([]FaultResult, len(faults))
+	recs := make([]*rec, len(faults))
+	for i := range faults {
+		results[i] = FaultResult{Fault: faults[i], Status: Pending, PatternIndex: -1}
+		recs[i] = &rec{fault: faults[i], res: &results[i]}
+	}
+	g.stats.Faults += len(faults)
+
+	var phase2 []*rec
+	if g.opts.UseFPTPG {
+		batch := make([]*rec, 0, g.opts.WordWidth)
+		flush := func() {
+			if len(batch) == 0 {
+				return
+			}
+			g.stats.FPTPGGroups++
+			phase2 = append(phase2, g.runGroup(batch)...)
+			batch = batch[:0]
+			g.maybeSimulate(recs)
+		}
+		for _, r := range recs {
+			if r.res.Status != Pending {
+				continue
+			}
+			if g.opts.SubpathPruning && g.pruneIfKnownRedundant(r) {
+				continue
+			}
+			batch = append(batch, r)
+			if len(batch) == g.opts.WordWidth {
+				flush()
+			}
+		}
+		flush()
+	} else {
+		for _, r := range recs {
+			if r.res.Status == Pending {
+				phase2 = append(phase2, r)
+			}
+		}
+	}
+
+	if g.opts.UseAPTPG {
+		for _, r := range phase2 {
+			if r.res.Status != Pending {
+				continue
+			}
+			if g.opts.SubpathPruning && g.pruneIfKnownRedundant(r) {
+				continue
+			}
+			g.runAPTPG(r)
+			g.maybeSimulate(recs)
+		}
+	} else {
+		for _, r := range phase2 {
+			if r.res.Status == Pending {
+				g.markAborted(r, PhaseFPTPG)
+			}
+		}
+	}
+	// Anything still pending (both phases disabled) is aborted.
+	for _, r := range recs {
+		if r.res.Status == Pending {
+			g.markAborted(r, PhaseNone)
+		}
+	}
+
+	g.stats.GenerateTime += time.Since(start) - (g.stats.SensitizeTime - sensAtStart)
+	return results
+}
+
+// launchValue is the value assigned to the path input primary input: the
+// transition itself for robust generation, and just its final value for
+// nonrobust generation (the first vector is derived by flipping the path
+// input when the pattern is extracted).
+func (g *Generator) launchValue(t paths.Transition) logic.Value7 {
+	if g.opts.Mode == sensitize.Robust {
+		return t.Value7()
+	}
+	return logic.Value7From3(t.FinalValue3())
+}
+
+// decisionValue maps a backtrace objective value to the value actually
+// assigned at a primary input: stable values for robust generation (primary
+// inputs do not glitch), plain final values for nonrobust generation.
+func (g *Generator) decisionValue(v logic.Value3) logic.Value7 {
+	if g.opts.Mode == sensitize.Robust {
+		if v == logic.One3 {
+			return logic.Stable1
+		}
+		return logic.Stable0
+	}
+	return logic.Value7From3(v)
+}
+
+// sensitizeRec computes (and caches) the sensitization conditions of the
+// fault, accounting the time separately (the t_sens column of Tables 5/6).
+func (g *Generator) sensitizeRec(r *rec) bool {
+	if r.sensOK {
+		return true
+	}
+	start := time.Now()
+	cond, err := sensitize.Sensitize(g.c, r.fault, g.opts.Mode)
+	g.stats.SensitizeTime += time.Since(start)
+	if err != nil {
+		return false
+	}
+	r.cond = cond
+	r.sensOK = true
+	return true
+}
+
+// ---------------------------------------------------------------------------
+// FPTPG: fault-parallel test pattern generation.
+// ---------------------------------------------------------------------------
+
+// runGroup processes up to WordWidth faults simultaneously, one per bit
+// level, and returns the faults that need backtracking (handed to APTPG).
+func (g *Generator) runGroup(batch []*rec) []*rec {
+	var needPhase2 []*rec
+	active := logic.LevelMask(len(batch))
+	g.st.Reset(active)
+
+	alive := uint64(0)
+	for i, r := range batch {
+		if !g.sensitizeRec(r) {
+			g.markAborted(r, PhaseFPTPG)
+			continue
+		}
+		bit := uint64(1) << uint(i)
+		for _, a := range r.cond.Assignments {
+			g.st.AddRequirement(a.Net, a.Value, bit)
+		}
+		g.st.AssignPI(r.fault.Path.Input(), g.launchValue(r.fault.Transition), bit)
+		alive |= bit
+	}
+
+	decided := uint64(0)
+	conf := g.implyCounted()
+	if newConf := conf & alive; newConf != 0 {
+		for i, r := range batch {
+			if newConf&(1<<uint(i)) != 0 {
+				g.markRedundant(r, PhaseFPTPG)
+			}
+		}
+		alive &^= newConf
+	}
+
+	for iter := 0; alive != 0 && iter < g.opts.MaxFPTPGIterations; iter++ {
+		g.st.ForwardSim()
+		if just := g.st.JustifiedMask() & alive; just != 0 {
+			for i, r := range batch {
+				bit := uint64(1) << uint(i)
+				if just&bit == 0 {
+					continue
+				}
+				if g.emitTest(r, i, PhaseFPTPG) {
+					alive &^= bit
+				} else {
+					// Verification failed: give the fault to APTPG.
+					needPhase2 = append(needPhase2, r)
+					alive &^= bit
+				}
+			}
+		}
+		if alive == 0 {
+			break
+		}
+
+		// One backtrace-guided input assignment per still-alive level.
+		progress := false
+		for i, r := range batch {
+			bit := uint64(1) << uint(i)
+			if alive&bit == 0 {
+				continue
+			}
+			obj, ok := g.findObjective(i)
+			if !ok {
+				needPhase2 = append(needPhase2, r)
+				alive &^= bit
+				continue
+			}
+			g.st.AssignPI(obj.Input, g.decisionValue(obj.Value), bit)
+			decided |= bit
+			r.res.Decisions++
+			g.stats.Decisions++
+			progress = true
+		}
+		if !progress {
+			break
+		}
+
+		conf = g.implyCounted()
+		if newConf := conf & alive; newConf != 0 {
+			for i, r := range batch {
+				bit := uint64(1) << uint(i)
+				if newConf&bit == 0 {
+					continue
+				}
+				if decided&bit != 0 {
+					// The conflict may stem from a wrong decision: this is
+					// exactly the situation in which the paper passes over to
+					// APTPG instead of backtracking inside FPTPG.
+					needPhase2 = append(needPhase2, r)
+				} else {
+					g.markRedundant(r, PhaseFPTPG)
+				}
+			}
+			alive &^= newConf
+		}
+	}
+
+	// Whatever is still alive after the iteration limit goes to APTPG.
+	for i, r := range batch {
+		if alive&(1<<uint(i)) != 0 {
+			needPhase2 = append(needPhase2, r)
+		}
+	}
+	return needPhase2
+}
+
+// findObjective returns a primary input assignment helping to justify some
+// requirement that is still unjustified at the given bit level.
+func (g *Generator) findObjective(level int) (backtrace.Objective, bool) {
+	for _, net := range g.st.Unjustified(level) {
+		want := g.st.Requirement(net).Get(level)
+		if obj, ok := backtrace.Backtrace(g.st, g.cc, net, want, level); ok {
+			return obj, true
+		}
+	}
+	return backtrace.Objective{}, false
+}
+
+// findObjectives collects up to max distinct primary input objectives from
+// the unjustified requirements of the given bit level; APTPG enumerates all
+// their value combinations at once.
+func (g *Generator) findObjectives(level, max int) []backtrace.Objective {
+	var objs []backtrace.Objective
+	seen := make(map[circuit.NetID]bool)
+	for _, net := range g.st.Unjustified(level) {
+		if len(objs) >= max {
+			break
+		}
+		want := g.st.Requirement(net).Get(level)
+		obj, ok := backtrace.Backtrace(g.st, g.cc, net, want, level)
+		if !ok || seen[obj.Input] {
+			continue
+		}
+		seen[obj.Input] = true
+		objs = append(objs, obj)
+	}
+	return objs
+}
+
+func (g *Generator) implyCounted() uint64 {
+	g.stats.Implications++
+	return g.st.Imply()
+}
+
+// ---------------------------------------------------------------------------
+// APTPG: alternative-parallel test pattern generation.
+// ---------------------------------------------------------------------------
+
+type decision struct {
+	input      circuit.NetID
+	value      logic.Value3
+	enumerated bool
+	enumIdx    int
+	flipped    bool
+}
+
+// runAPTPG handles one hard fault: the fault is flattened onto all bit
+// levels, up to log2(L) backtrace-selected inputs are enumerated in parallel
+// (one value combination per bit level) and any further decisions are made
+// conventionally with chronological backtracking on all levels at once.
+func (g *Generator) runAPTPG(r *rec) {
+	g.stats.APTPGFaults++
+	if !g.sensitizeRec(r) {
+		g.markAborted(r, PhaseAPTPG)
+		return
+	}
+	active := logic.LevelMask(g.opts.WordWidth)
+	g.st.Reset(active)
+	for _, a := range r.cond.Assignments {
+		g.st.AddRequirement(a.Net, a.Value, active)
+	}
+	pathIn := r.fault.Path.Input()
+	launch := g.launchValue(r.fault.Transition)
+	g.st.AssignPI(pathIn, launch, active)
+
+	if conf := g.implyCounted(); conf == active {
+		// Conflict on every level with no optional assignment: redundant.
+		g.markRedundant(r, PhaseAPTPG)
+		return
+	}
+
+	var decisions []decision
+	enumCount := 0
+	deadMask := uint64(0)
+	sawStuck := false
+
+	rebuild := func() {
+		g.st.ClearPI(logic.AllLevels)
+		g.st.AssignPI(pathIn, launch, active)
+		for _, d := range decisions {
+			if d.enumerated {
+				g.st.AssignPIWord(d.input, g.enumWord(d.enumIdx))
+			} else {
+				g.st.AssignPI(d.input, g.decisionValue(d.value), active)
+			}
+		}
+		g.implyCounted()
+		deadMask = 0
+	}
+
+	maxSteps := 64 * (g.opts.MaxBacktracks + 4) * (len(g.c.Inputs()) + 4)
+	for step := 0; step < maxSteps; step++ {
+		g.st.ForwardSim()
+		aliveMask := active &^ g.st.ConflictMask() &^ deadMask
+		if just := g.st.JustifiedMask() & aliveMask; just != 0 {
+			lvl := bits.TrailingZeros64(just)
+			if g.emitTest(r, lvl, PhaseAPTPG) {
+				return
+			}
+			deadMask |= uint64(1) << uint(lvl)
+			sawStuck = true
+			continue
+		}
+
+		if aliveMask == 0 {
+			// Every alternative currently under consideration conflicts:
+			// backtrack chronologically over the conventional decisions.
+			r.res.Backtracks++
+			g.stats.Backtracks++
+			if r.res.Backtracks > g.opts.MaxBacktracks {
+				g.markAborted(r, PhaseAPTPG)
+				return
+			}
+			flipped := false
+			for len(decisions) > 0 {
+				last := &decisions[len(decisions)-1]
+				if !last.enumerated && !last.flipped {
+					last.flipped = true
+					last.value = last.value.Not()
+					flipped = true
+					break
+				}
+				if last.enumerated {
+					enumCount--
+				}
+				decisions = decisions[:len(decisions)-1]
+			}
+			if !flipped {
+				// The whole search space has been explored.
+				if sawStuck {
+					g.markAborted(r, PhaseAPTPG)
+				} else {
+					g.markRedundant(r, PhaseAPTPG)
+				}
+				return
+			}
+			rebuild()
+			continue
+		}
+
+		// Make new decisions, guided by the lowest still-alive level.  While
+		// the enumeration budget of log2(L) inputs lasts, several backtrace
+		// objectives are collected at once and all their value combinations
+		// are examined with a single bit-parallel implication, as described
+		// in Section 3.2 of the paper.  Beyond the budget, decisions are
+		// conventional: one input, one value on all levels.
+		lvl := bits.TrailingZeros64(aliveMask)
+		if enumCount < g.opts.MaxEnumInputs {
+			objs := g.findObjectives(lvl, g.opts.MaxEnumInputs-enumCount)
+			if len(objs) == 0 {
+				deadMask |= uint64(1) << uint(lvl)
+				sawStuck = true
+				continue
+			}
+			for _, obj := range objs {
+				r.res.Decisions++
+				g.stats.Decisions++
+				decisions = append(decisions, decision{input: obj.Input, enumerated: true, enumIdx: enumCount})
+				g.st.AssignPIWord(obj.Input, g.enumWord(enumCount))
+				enumCount++
+			}
+		} else {
+			obj, ok := g.findObjective(lvl)
+			if !ok {
+				deadMask |= uint64(1) << uint(lvl)
+				sawStuck = true
+				continue
+			}
+			r.res.Decisions++
+			g.stats.Decisions++
+			decisions = append(decisions, decision{input: obj.Input, value: obj.Value})
+			g.st.AssignPI(obj.Input, g.decisionValue(obj.Value), active)
+		}
+		g.implyCounted()
+	}
+	g.markAborted(r, PhaseAPTPG)
+}
+
+// enumWord builds the per-level assignment word of the idx-th enumerated
+// input: bit level j receives value bit idx of j, so across the active
+// levels all combinations of the enumerated inputs appear.
+func (g *Generator) enumWord(idx int) logic.Word7 {
+	one := g.decisionValue(logic.One3)
+	zero := g.decisionValue(logic.Zero3)
+	var w logic.Word7
+	for j := 0; j < g.opts.WordWidth; j++ {
+		if (j>>uint(idx))&1 == 1 {
+			w.Set(j, one)
+		} else {
+			w.Set(j, zero)
+		}
+	}
+	return w
+}
+
+// ---------------------------------------------------------------------------
+// Pattern extraction, verification and bookkeeping.
+// ---------------------------------------------------------------------------
+
+// extractPattern builds the two-vector test from the primary input
+// assignments of the given bit level.
+func (g *Generator) extractPattern(r *rec, level int) pattern.Pair {
+	inputs := g.c.Inputs()
+	p := pattern.NewPair(len(inputs))
+	for i, in := range inputs {
+		v7 := g.st.PIValue(in).Get(level)
+		final := v7.Final()
+		if !final.IsAssigned() {
+			continue
+		}
+		p.V2[i] = final
+		switch {
+		case v7.StableBit():
+			p.V1[i] = final
+		case v7.InstableBit():
+			p.V1[i] = final.Not()
+		default:
+			p.V1[i] = final
+		}
+	}
+	if g.opts.Mode == sensitize.Nonrobust {
+		// Nonrobust generation only fixes final values; the transition is
+		// launched by flipping the path input in the first vector.
+		for i, in := range inputs {
+			if in == r.fault.Path.Input() {
+				p.V2[i] = r.fault.Transition.FinalValue3()
+				p.V1[i] = p.V2[i].Not()
+			}
+		}
+	}
+	return p.FillX(g.opts.FillValue)
+}
+
+// emitTest extracts, verifies and records a test for the fault from the
+// given bit level.  It returns false (and leaves the fault pending) when the
+// verification rejects the pattern.
+func (g *Generator) emitTest(r *rec, level int, phase Phase) bool {
+	p := g.extractPattern(r, level)
+	if g.opts.VerifyTests && !g.verifyPattern(r.fault, p) {
+		return false
+	}
+	idx := g.testSet.Len()
+	g.testSet.Add(p, r.fault.Describe(g.c))
+	r.res.Status = Tested
+	r.res.Phase = phase
+	r.res.Test = p
+	r.res.PatternIndex = idx
+	g.stats.Tested++
+	g.stats.Patterns++
+	g.newPatterns++
+	return true
+}
+
+// verifyPattern checks with the fault simulator that the pattern actually
+// detects the fault in the selected test class.
+func (g *Generator) verifyPattern(f paths.Fault, p pattern.Pair) bool {
+	if _, err := g.sim.Load([]pattern.Pair{p}); err != nil {
+		return false
+	}
+	return g.sim.Detects(f, g.opts.Mode == sensitize.Robust) != 0
+}
+
+func (g *Generator) markRedundant(r *rec, phase Phase) {
+	r.res.Status = Redundant
+	r.res.Phase = phase
+	g.stats.Redundant++
+	if g.opts.SubpathPruning && phase != PhasePruning {
+		g.recordRedundantPrefix(r)
+	}
+}
+
+func (g *Generator) markAborted(r *rec, phase Phase) {
+	r.res.Status = Aborted
+	r.res.Phase = phase
+	g.stats.Aborted++
+}
+
+// ---------------------------------------------------------------------------
+// Interleaved fault simulation.
+// ---------------------------------------------------------------------------
+
+// maybeSimulate runs parallel-pattern fault simulation over the patterns
+// generated since the last simulation and drops every still-pending fault
+// they detect, as the paper does after every L generated patterns.
+func (g *Generator) maybeSimulate(recs []*rec) {
+	if g.opts.FaultSimInterval <= 0 || g.newPatterns < g.opts.FaultSimInterval {
+		return
+	}
+	g.newPatterns = 0
+	robust := g.opts.Mode == sensitize.Robust
+	pairs := g.testSet.Pairs[g.lastSimmed:]
+	base := g.lastSimmed
+	g.lastSimmed = g.testSet.Len()
+	for start := 0; start < len(pairs); start += faultsim.BatchSize {
+		end := start + faultsim.BatchSize
+		if end > len(pairs) {
+			end = len(pairs)
+		}
+		if _, err := g.sim.Load(pairs[start:end]); err != nil {
+			return
+		}
+		for _, r := range recs {
+			if r.res.Status != Pending {
+				continue
+			}
+			if mask := g.sim.Detects(r.fault, robust); mask != 0 {
+				r.res.Status = DetectedBySim
+				r.res.Phase = PhaseSimulation
+				r.res.PatternIndex = base + start + bits.TrailingZeros64(mask)
+				g.stats.DetectedBySim++
+			}
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Subpath redundancy pruning.
+// ---------------------------------------------------------------------------
+
+// pruneIfKnownRedundant checks whether the fault contains a subpath already
+// proved unsensitizable and, if so, marks it redundant without any search.
+func (g *Generator) pruneIfKnownRedundant(r *rec) bool {
+	if len(g.redundantPrefixes) == 0 {
+		return false
+	}
+	key := prefixKeyBuilder(r.fault.Transition)
+	for i, net := range r.fault.Path.Nets {
+		key.add(net)
+		if i == 0 {
+			continue
+		}
+		if g.redundantPrefixes[key.String()] {
+			g.markRedundant(r, PhasePruning)
+			g.stats.PrunedRedundant++
+			return true
+		}
+	}
+	return false
+}
+
+// recordRedundantPrefix finds the shortest prefix of the redundant fault's
+// path whose sensitization requirements are already contradictory, and
+// records it so later faults sharing the prefix are pruned, exactly as in
+// the Figure 1 discussion of the paper ("all paths containing this subpath
+// are proved to be redundant, too").
+func (g *Generator) recordRedundantPrefix(r *rec) {
+	if !r.sensOK {
+		return
+	}
+	nets := r.fault.Path.Nets
+	// Binary search for the smallest conflicting prefix length: requirements
+	// grow with the prefix, so conflicts are monotone in the length.
+	lo, hi := 2, len(nets)
+	if !g.prefixConflicts(r, hi) {
+		return // the conflict needs the whole path plus implications elsewhere
+	}
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if g.prefixConflicts(r, mid) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	key := prefixKeyBuilder(r.fault.Transition)
+	for i := 0; i < lo; i++ {
+		key.add(nets[i])
+	}
+	g.redundantPrefixes[key.String()] = true
+}
+
+// prefixConflicts reports whether the sensitization requirements of the
+// first n nets of the fault's path are contradictory on their own.
+func (g *Generator) prefixConflicts(r *rec, n int) bool {
+	conds, err := sensitize.SensitizeSubpath(g.c, r.fault, g.opts.Mode, n)
+	if err != nil {
+		return false
+	}
+	g.pruneSt.Reset(1)
+	for _, a := range conds.Assignments {
+		g.pruneSt.AddRequirement(a.Net, a.Value, 1)
+	}
+	g.pruneSt.AssignPI(r.fault.Path.Input(), g.launchValue(r.fault.Transition), 1)
+	return g.pruneSt.Imply()&1 != 0
+}

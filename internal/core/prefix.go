@@ -1,0 +1,29 @@
+package core
+
+import (
+	"strconv"
+	"strings"
+
+	"repro/internal/circuit"
+	"repro/internal/paths"
+)
+
+// prefixKey incrementally builds the map key of a path prefix together with
+// the launch transition, so faults can be matched against recorded redundant
+// subpaths in a single pass over their nets.
+type prefixKey struct {
+	sb strings.Builder
+}
+
+func prefixKeyBuilder(t paths.Transition) *prefixKey {
+	k := &prefixKey{}
+	k.sb.WriteString(t.String())
+	return k
+}
+
+func (k *prefixKey) add(net circuit.NetID) {
+	k.sb.WriteByte('.')
+	k.sb.WriteString(strconv.Itoa(int(net)))
+}
+
+func (k *prefixKey) String() string { return k.sb.String() }

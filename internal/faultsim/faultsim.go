@@ -1,0 +1,242 @@
+// Package faultsim implements parallel-pattern path delay fault simulation.
+//
+// Up to 64 two-vector tests are simulated simultaneously: bit level i of
+// every value word corresponds to test pair i of the batch, mirroring the
+// parallel-pattern fault simulators the paper builds on.  Each primary input
+// is driven with the seven-valued value describing its behaviour across the
+// two vectors (stable, rising, falling, or final-only when the first vector
+// leaves it unspecified), the circuit is evaluated once, and every fault's
+// detection condition is then checked along its path with word-wide mask
+// operations.
+package faultsim
+
+import (
+	"fmt"
+
+	"repro/internal/circuit"
+	"repro/internal/logic"
+	"repro/internal/paths"
+	"repro/internal/pattern"
+)
+
+// Simulator evaluates batches of up to 64 test pairs against path delay
+// faults.  A Simulator is bound to one circuit and reused across batches.
+type Simulator struct {
+	c    *circuit.Circuit
+	vals []logic.Word7
+	n    int // number of pairs in the current batch
+}
+
+// New returns a simulator for the circuit.
+func New(c *circuit.Circuit) *Simulator {
+	return &Simulator{c: c, vals: make([]logic.Word7, c.NumNets())}
+}
+
+// BatchSize is the maximum number of test pairs per batch.
+const BatchSize = logic.WordWidth
+
+// Load simulates a batch of up to BatchSize test pairs and returns the
+// number of pairs loaded.  Pairs beyond BatchSize are ignored (call Load
+// again with the remainder).  Each pair must have one value per primary
+// input of the circuit.
+func (s *Simulator) Load(pairs []pattern.Pair) (int, error) {
+	n := len(pairs)
+	if n > BatchSize {
+		n = BatchSize
+	}
+	inputs := s.c.Inputs()
+	for i := range s.vals {
+		s.vals[i] = logic.Word7{}
+	}
+	for j := 0; j < n; j++ {
+		if pairs[j].Len() != len(inputs) {
+			return 0, fmt.Errorf("faultsim: pair %d has %d values for %d inputs", j, pairs[j].Len(), len(inputs))
+		}
+		for i, in := range inputs {
+			s.vals[in].MergeAt(j, pairs[j].Value7(i))
+		}
+	}
+	buf := make([]logic.Word7, 0, 8)
+	for _, id := range s.c.TopoOrder() {
+		g := s.c.Gate(id)
+		if g.Kind == logic.Input {
+			continue
+		}
+		buf = buf[:0]
+		for _, f := range g.Fanin {
+			buf = append(buf, s.vals[f])
+		}
+		s.vals[id] = logic.EvalGate7(g.Kind, buf)
+	}
+	s.n = n
+	return n, nil
+}
+
+// Value returns the simulated value word of a net for the current batch.
+func (s *Simulator) Value(net circuit.NetID) logic.Word7 { return s.vals[net] }
+
+// BatchMask returns the mask of bit levels occupied by the current batch.
+func (s *Simulator) BatchMask() uint64 { return logic.LevelMask(s.n) }
+
+// Detects returns the mask of test pairs of the current batch that detect
+// the fault, robustly when robust is true and nonrobustly otherwise.
+//
+// A pair detects the fault nonrobustly when it launches the fault's
+// transition at the path input and every off-path input of every on-path
+// gate holds the gate's non-controlling value in the final vector (off-path
+// inputs of XOR-type gates must be stable).  For robust detection the
+// off-path inputs must additionally be stable at the non-controlling value
+// whenever the on-path input of their gate changes towards the controlling
+// value, and the simulated on-path signals must carry the expected
+// transitions.
+func (s *Simulator) Detects(f paths.Fault, robust bool) uint64 {
+	mask := s.BatchMask()
+	nets := f.Path.Nets
+	trans := f.Transitions(s.c)
+
+	// The launch transition must be present at the path input.
+	mask &= s.transitionMask(nets[0], trans[0])
+	if mask == 0 {
+		return 0
+	}
+
+	for i := 1; i < len(nets) && mask != 0; i++ {
+		g := s.c.Gate(nets[i])
+		onPath := nets[i-1]
+		if robust {
+			// The transition must propagate along the path.
+			mask &= s.transitionMask(nets[i], trans[i])
+			if mask == 0 {
+				return 0
+			}
+		}
+		if len(g.Fanin) < 2 {
+			continue
+		}
+		seenOnPath := false
+		for _, fanin := range g.Fanin {
+			if fanin == onPath && !seenOnPath {
+				seenOnPath = true
+				continue
+			}
+			mask &= s.sideInputMask(g.Kind, fanin, trans[i-1], robust)
+			if mask == 0 {
+				return 0
+			}
+		}
+	}
+	return mask
+}
+
+// transitionMask returns the pairs on which net carries exactly the given
+// transition.
+func (s *Simulator) transitionMask(net circuit.NetID, t paths.Transition) uint64 {
+	v := s.vals[net]
+	if t == paths.Rising {
+		return v.One & v.Instable
+	}
+	return v.Zero & v.Instable
+}
+
+// sideInputMask returns the pairs on which the off-path input satisfies the
+// propagation condition of the gate kind for the given on-path transition.
+func (s *Simulator) sideInputMask(kind logic.Kind, side circuit.NetID, onPath paths.Transition, robust bool) uint64 {
+	v := s.vals[side]
+	switch kind {
+	case logic.And, logic.Nand, logic.Or, logic.Nor:
+		ctrl, _ := kind.Controlling()
+		nonCtrlPlane := v.One
+		if nc, _ := kind.NonControlling(); nc == logic.Zero3 {
+			nonCtrlPlane = v.Zero
+		}
+		if robust && onPath.FinalValue3() == ctrl {
+			// Change towards the controlling value: the side input must be
+			// steady at the non-controlling value.
+			return nonCtrlPlane & v.Stable
+		}
+		return nonCtrlPlane
+	case logic.Xor, logic.Xnor:
+		// No controlling value: the side input must not change.
+		return v.Stable
+	}
+	// BUF/NOT have no side inputs; anything else cannot be on a path.
+	return s.BatchMask()
+}
+
+// Result summarises a fault-simulation run.
+type Result struct {
+	// Detected[i] is true when fault i of the fault list is detected by at
+	// least one pair.
+	Detected []bool
+	// DetectedBy[i] is the index of the first detecting pair, or -1.
+	DetectedBy []int
+	// NumDetected counts the detected faults.
+	NumDetected int
+}
+
+// Run simulates all pairs (in batches of BatchSize) against all faults and
+// reports which faults are detected.
+func Run(c *circuit.Circuit, pairs []pattern.Pair, faults []paths.Fault, robust bool) (Result, error) {
+	res := Result{
+		Detected:   make([]bool, len(faults)),
+		DetectedBy: make([]int, len(faults)),
+	}
+	for i := range res.DetectedBy {
+		res.DetectedBy[i] = -1
+	}
+	sim := New(c)
+	for base := 0; base < len(pairs); base += BatchSize {
+		end := base + BatchSize
+		if end > len(pairs) {
+			end = len(pairs)
+		}
+		if _, err := sim.Load(pairs[base:end]); err != nil {
+			return Result{}, err
+		}
+		for fi := range faults {
+			if res.Detected[fi] {
+				continue
+			}
+			if mask := sim.Detects(faults[fi], robust); mask != 0 {
+				res.Detected[fi] = true
+				res.DetectedBy[fi] = base + lowestBit(mask)
+				res.NumDetected++
+			}
+		}
+	}
+	return res, nil
+}
+
+// Coverage returns the fraction of the given faults detected by the pairs.
+func Coverage(c *circuit.Circuit, pairs []pattern.Pair, faults []paths.Fault, robust bool) (float64, error) {
+	if len(faults) == 0 {
+		return 0, nil
+	}
+	res, err := Run(c, pairs, faults, robust)
+	if err != nil {
+		return 0, err
+	}
+	return float64(res.NumDetected) / float64(len(faults)), nil
+}
+
+// EstimateCoverage estimates the path delay fault coverage of a test set by
+// simulating a uniform sample of sampleSize faults (in the spirit of
+// non-enumerative coverage estimators such as NEST).  It returns the
+// estimated coverage and the number of sampled faults actually simulated.
+func EstimateCoverage(c *circuit.Circuit, pairs []pattern.Pair, sampleSize int, seed int64, robust bool) (float64, int, error) {
+	faults := paths.SampleFaults(c, sampleSize, seed)
+	if len(faults) == 0 {
+		return 0, 0, nil
+	}
+	cov, err := Coverage(c, pairs, faults, robust)
+	return cov, len(faults), err
+}
+
+func lowestBit(mask uint64) int {
+	for i := 0; i < 64; i++ {
+		if mask&(1<<uint(i)) != 0 {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,171 @@
+package implic
+
+import (
+	"repro/internal/circuit"
+	"repro/internal/logic"
+)
+
+// backImply applies the unique backward implications of gate g: values that
+// the fanin nets must take given the current value of the gate output (and
+// of the other fanins).  It merges the derived requirements into Val and
+// reports whether anything changed.
+//
+// Only *necessary* consequences are derived, so a conflict produced by the
+// implication closure proves the requirements unsatisfiable (this is what
+// makes the "conflict without optional assignments => redundant" conclusion
+// of the paper sound).
+func (s *State) backImply(g *circuit.Gate) bool {
+	out := s.Val[g.ID]
+	switch g.Kind {
+	case logic.Buf:
+		return s.mergeInto(g.Fanin[0], out)
+	case logic.Not:
+		return s.mergeInto(g.Fanin[0], out.Not())
+	case logic.And:
+		return s.backImplyAnd(out, g.Fanin, false)
+	case logic.Nand:
+		return s.backImplyAnd(out.Not(), g.Fanin, false)
+	case logic.Or:
+		return s.backImplyAnd(out.Not(), g.Fanin, true)
+	case logic.Nor:
+		return s.backImplyAnd(out, g.Fanin, true)
+	case logic.Xor:
+		return s.backImplyXor(out, g.Fanin)
+	case logic.Xnor:
+		return s.backImplyXor(out.Not(), g.Fanin)
+	}
+	return false
+}
+
+// mergeInto merges w into Val[net] at the active levels and reports change.
+func (s *State) mergeInto(net circuit.NetID, w logic.Word7) bool {
+	merged := s.Val[net].Merge(w.SelectLevels(s.active))
+	if merged == s.Val[net] {
+		return false
+	}
+	s.Val[net] = merged
+	return true
+}
+
+// backImplyAnd derives the backward implications of an AND gate whose output
+// value (after folding away any output inversion) is outCore.  When dual is
+// true the rules are applied in the OR dual: the gate is an OR/NOR and both
+// the output value and the fanin values are complemented on the way in and
+// the derived requirements complemented on the way out.  Complementing a
+// seven-valued word swaps only the final-value planes, so stability
+// information dualises correctly.
+func (s *State) backImplyAnd(outCore logic.Word7, fanin []circuit.NetID, dual bool) bool {
+	inVal := func(net circuit.NetID) logic.Word7 {
+		v := s.Val[net]
+		if dual {
+			return v.Not()
+		}
+		return v
+	}
+
+	f1 := outCore.One &^ outCore.Zero
+	f0 := outCore.Zero &^ outCore.One
+	st := outCore.Stable
+	inst := outCore.Instable
+
+	changed := false
+
+	// Rule family 1: the output requires the non-controlling value (1).
+	// Every input must then be 1; if the output is stable every input is
+	// stable; if the output carries a transition and all other inputs are
+	// stable, the remaining input must carry the transition.
+	if f1 != 0 {
+		for i, net := range fanin {
+			var req logic.Word7
+			req.One = f1
+			req.Stable = f1 & st
+			if inst != 0 {
+				othersStable := logic.AllLevels
+				for j, other := range fanin {
+					if j == i {
+						continue
+					}
+					othersStable &= inVal(other).Stable
+				}
+				req.Instable = f1 & inst & othersStable
+				req.One |= req.Instable
+			}
+			if dual {
+				req = req.Not()
+			}
+			if s.mergeInto(net, req) {
+				changed = true
+			}
+		}
+	}
+
+	// Rule family 0: the output requires the controlling value (0).  If all
+	// other inputs are known to be 1, the remaining input must be 0; it must
+	// additionally be stable (resp. falling) if the output is required
+	// stable (resp. carries a transition).
+	if f0 != 0 {
+		for i, net := range fanin {
+			othersOne := logic.AllLevels
+			for j, other := range fanin {
+				if j == i {
+					continue
+				}
+				othersOne &= inVal(other).One
+			}
+			forced := f0 & othersOne
+			if forced == 0 {
+				continue
+			}
+			var req logic.Word7
+			req.Zero = forced
+			req.Stable = forced & st
+			req.Instable = forced & inst
+			if dual {
+				req = req.Not()
+			}
+			if s.mergeInto(net, req) {
+				changed = true
+			}
+		}
+	}
+	return changed
+}
+
+// backImplyXor derives the backward implications of an XOR gate whose output
+// value (after folding away any inversion) is outCore: when the output final
+// value and all but one input final values are known, the remaining input's
+// final value is forced to the parity-consistent value.  Stability is not
+// implied backwards through XOR (the necessary conditions are not unique).
+func (s *State) backImplyXor(outCore logic.Word7, fanin []circuit.NetID) bool {
+	f1 := outCore.One &^ outCore.Zero
+	f0 := outCore.Zero &^ outCore.One
+	known := f0 | f1
+	if known == 0 {
+		return false
+	}
+	changed := false
+	for i, net := range fanin {
+		othersKnown := logic.AllLevels
+		othersParity := uint64(0)
+		for j, other := range fanin {
+			if j == i {
+				continue
+			}
+			v := s.Val[other]
+			othersKnown &= (v.One &^ v.Zero) | (v.Zero &^ v.One)
+			othersParity ^= v.One &^ v.Zero
+		}
+		mask := known & othersKnown
+		if mask == 0 {
+			continue
+		}
+		wantOne := (f1 &^ othersParity) | (f0 & othersParity)
+		var req logic.Word7
+		req.One = mask & wantOne
+		req.Zero = mask &^ wantOne
+		if s.mergeInto(net, req) {
+			changed = true
+		}
+	}
+	return changed
+}

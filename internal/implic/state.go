@@ -1,0 +1,264 @@
+// Package implic implements the bit-parallel implication engine used by the
+// test pattern generator.  All 64 bit levels of the machine word are
+// processed simultaneously: a bit level corresponds to one target fault
+// (fault-parallel generation) or to one pattern alternative
+// (alternative-parallel generation).
+//
+// The engine keeps three value planes per net:
+//
+//   - Req: the sensitization requirements of the target faults;
+//   - PI: the primary input assignments (launch transitions and decisions);
+//   - Val: the implication closure of Req and PI, computed by alternating
+//     forward and backward sweeps until a fixpoint;
+//
+// plus Sim, a forward-only simulation of the PI assignments used to decide
+// which requirements are already justified from the primary inputs.
+// Conflicts (the illegal encodings of Tables 1 and 2) are tracked per bit
+// level, so a conflict on one bit level never disturbs the others.
+package implic
+
+import (
+	"repro/internal/circuit"
+	"repro/internal/logic"
+)
+
+// State is the per-net value state of the implication engine.  A State is
+// created once per circuit and reset cheaply between fault groups.
+type State struct {
+	c *circuit.Circuit
+
+	// Req holds the sensitization requirements per net.
+	Req []logic.Word7
+	// PI holds the primary input assignments per net (only input nets are
+	// ever written).
+	PI []logic.Word7
+	// Val holds the implication closure of Req and PI.
+	Val []logic.Word7
+	// Sim holds the forward-only simulation of the PI assignments.
+	Sim []logic.Word7
+
+	active   uint64 // bit levels in use
+	conflict uint64 // accumulated conflict mask (subset of active)
+
+	// scratch buffers reused across calls.
+	faninBuf []logic.Word7
+
+	// MaxSweeps bounds the number of forward/backward rounds of Imply.  The
+	// implication closure usually converges in two or three rounds; the
+	// bound only protects against pathological netlists.
+	MaxSweeps int
+}
+
+// NewState allocates an implication state for the circuit.
+func NewState(c *circuit.Circuit) *State {
+	n := c.NumNets()
+	return &State{
+		c:         c,
+		Req:       make([]logic.Word7, n),
+		PI:        make([]logic.Word7, n),
+		Val:       make([]logic.Word7, n),
+		Sim:       make([]logic.Word7, n),
+		faninBuf:  make([]logic.Word7, 0, 8),
+		MaxSweeps: 8,
+	}
+}
+
+// Circuit returns the circuit the state operates on.
+func (s *State) Circuit() *circuit.Circuit { return s.c }
+
+// Reset clears all planes and sets the active bit level mask.
+func (s *State) Reset(active uint64) {
+	for i := range s.Req {
+		s.Req[i] = logic.Word7{}
+		s.PI[i] = logic.Word7{}
+		s.Val[i] = logic.Word7{}
+		s.Sim[i] = logic.Word7{}
+	}
+	s.active = active
+	s.conflict = 0
+}
+
+// Active returns the mask of bit levels in use.
+func (s *State) Active() uint64 { return s.active }
+
+// ConflictMask returns the accumulated conflict mask (restricted to the
+// active levels).
+func (s *State) ConflictMask() uint64 { return s.conflict & s.active }
+
+// AddRequirement merges a sensitization requirement for net at the levels
+// selected by mask.
+func (s *State) AddRequirement(net circuit.NetID, v logic.Value7, mask uint64) {
+	if v == logic.X7 {
+		return
+	}
+	s.Req[net] = s.Req[net].MergeMasked(logic.FillWord7(v), mask&s.active)
+}
+
+// AssignPI merges a primary input assignment for net at the levels selected
+// by mask.  Assigning a non-input net is a programming error and is ignored.
+func (s *State) AssignPI(net circuit.NetID, v logic.Value7, mask uint64) {
+	if v == logic.X7 || !s.c.IsInput(net) {
+		return
+	}
+	s.PI[net] = s.PI[net].MergeMasked(logic.FillWord7(v), mask&s.active)
+}
+
+// AssignPIWord merges an arbitrary per-level assignment word for a primary
+// input (used by APTPG to enumerate the 2^k combinations of k inputs).
+func (s *State) AssignPIWord(net circuit.NetID, w logic.Word7) {
+	if !s.c.IsInput(net) {
+		return
+	}
+	s.PI[net] = s.PI[net].Merge(w.SelectLevels(s.active))
+}
+
+// ClearPI removes all primary input assignments (keeping requirements),
+// restricted to the levels selected by mask.
+func (s *State) ClearPI(mask uint64) {
+	for _, in := range s.c.Inputs() {
+		s.PI[in] = s.PI[in].ClearLevels(mask)
+	}
+}
+
+// PIValue returns the current assignment of a primary input.
+func (s *State) PIValue(net circuit.NetID) logic.Word7 { return s.PI[net] }
+
+// Imply recomputes the implication closure Val from Req and PI and returns
+// the mask of bit levels on which a conflict was detected.  A conflict on a
+// level means the requirements (plus the current input assignments) are
+// unsatisfiable on that level.
+func (s *State) Imply() uint64 {
+	order := s.c.TopoOrder()
+	// Initialise the closure with the requirements and input assignments.
+	for i := range s.Val {
+		s.Val[i] = s.Req[i].SelectLevels(s.active)
+	}
+	for _, in := range s.c.Inputs() {
+		s.Val[in] = s.Val[in].Merge(s.PI[in].SelectLevels(s.active))
+	}
+
+	maxSweeps := s.MaxSweeps
+	if maxSweeps <= 0 {
+		maxSweeps = 8
+	}
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		changed := false
+		// Forward sweep: gate outputs receive the evaluation of their fanin
+		// values.
+		for _, id := range order {
+			g := s.c.Gate(id)
+			if g.Kind == logic.Input {
+				continue
+			}
+			ev := s.evalGate(g, s.Val)
+			merged := s.Val[id].Merge(ev)
+			if merged != s.Val[id] {
+				s.Val[id] = merged
+				changed = true
+			}
+		}
+		// Backward sweep: unique implications from required output values to
+		// the fanin nets.
+		for i := len(order) - 1; i >= 0; i-- {
+			g := s.c.Gate(order[i])
+			if g.Kind == logic.Input || len(g.Fanin) == 0 {
+				continue
+			}
+			if s.backImply(g) {
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+
+	conflict := uint64(0)
+	for i := range s.Val {
+		conflict |= s.Val[i].ConflictMask()
+	}
+	// Imply recomputes the conflict mask from the current closure; conflicts
+	// recorded with MarkConflict before this call are discarded, so callers
+	// that track externally detected dead levels must keep their own mask.
+	s.conflict = conflict & s.active
+	return s.ConflictMask()
+}
+
+// evalGate evaluates gate g over the given value slice.
+func (s *State) evalGate(g *circuit.Gate, vals []logic.Word7) logic.Word7 {
+	s.faninBuf = s.faninBuf[:0]
+	for _, f := range g.Fanin {
+		s.faninBuf = append(s.faninBuf, vals[f])
+	}
+	return logic.EvalGate7(g.Kind, s.faninBuf)
+}
+
+// ForwardSim recomputes Sim: a forward-only simulation of the current PI
+// assignments, ignoring the requirements.  Sim tells the generator which
+// values are actually produced by the inputs chosen so far, and therefore
+// which requirements are justified.
+func (s *State) ForwardSim() {
+	for i := range s.Sim {
+		s.Sim[i] = logic.Word7{}
+	}
+	for _, in := range s.c.Inputs() {
+		s.Sim[in] = s.PI[in].SelectLevels(s.active)
+	}
+	for _, id := range s.c.TopoOrder() {
+		g := s.c.Gate(id)
+		if g.Kind == logic.Input {
+			continue
+		}
+		s.Sim[id] = s.evalGate(g, s.Sim)
+	}
+}
+
+// JustifiedMask returns the mask of active bit levels on which every
+// requirement is covered by the forward simulation of the primary input
+// assignments and no conflict has been recorded.  ForwardSim must have been
+// called after the last assignment change.
+func (s *State) JustifiedMask() uint64 {
+	mask := s.active &^ s.conflict
+	for i := range s.Req {
+		req := s.Req[i].SelectLevels(s.active)
+		if (req == logic.Word7{}) {
+			continue
+		}
+		mask &= s.Sim[i].CoversMask(req)
+		if mask == 0 {
+			return 0
+		}
+	}
+	return mask
+}
+
+// Unjustified returns the nets whose requirement is not yet covered by the
+// forward simulation at the given bit level, in topological order (nets
+// closest to the primary inputs first).  ForwardSim must be up to date.
+func (s *State) Unjustified(level int) []circuit.NetID {
+	bit := uint64(1) << uint(level)
+	var out []circuit.NetID
+	for _, id := range s.c.TopoOrder() {
+		req := s.Req[id]
+		if req.Get(level) == logic.X7 {
+			continue
+		}
+		if s.Sim[id].CoversMask(req)&bit == 0 {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// SimValue returns the forward-simulation value of a net.
+func (s *State) SimValue(net circuit.NetID) logic.Word7 { return s.Sim[net] }
+
+// ImpliedValue returns the implication-closure value of a net.
+func (s *State) ImpliedValue(net circuit.NetID) logic.Word7 { return s.Val[net] }
+
+// Requirement returns the requirement word of a net.
+func (s *State) Requirement(net circuit.NetID) logic.Word7 { return s.Req[net] }
+
+// MarkConflict records an externally detected conflict (for example a
+// backtrace dead end) on the given levels.
+func (s *State) MarkConflict(mask uint64) { s.conflict |= mask & s.active }

@@ -1,0 +1,384 @@
+package logic
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Word7 holds 64 seven-valued logic values, one per bit level, in four bit
+// planes following Table 2 of the paper.  The zero value is "X at every bit
+// level" and is ready to use.
+type Word7 struct {
+	Zero     uint64 // the 0-bit plane: final value 0
+	One      uint64 // the 1-bit plane: final value 1
+	Stable   uint64 // the stable-bit plane: constant, hazard-free
+	Instable uint64 // the instable-bit plane: carries a transition
+}
+
+// FillWord7 returns a word holding v at every bit level.
+func FillWord7(v Value7) Word7 {
+	var w Word7
+	if v.ZeroBit() {
+		w.Zero = AllLevels
+	}
+	if v.OneBit() {
+		w.One = AllLevels
+	}
+	if v.StableBit() {
+		w.Stable = AllLevels
+	}
+	if v.InstableBit() {
+		w.Instable = AllLevels
+	}
+	return w
+}
+
+// Get returns the value at bit level i.
+func (w Word7) Get(i int) Value7 {
+	var v Value7
+	if w.Zero>>uint(i)&1 != 0 {
+		v |= zeroBit7
+	}
+	if w.One>>uint(i)&1 != 0 {
+		v |= oneBit7
+	}
+	if w.Stable>>uint(i)&1 != 0 {
+		v |= stableBit7
+	}
+	if w.Instable>>uint(i)&1 != 0 {
+		v |= instableBit7
+	}
+	return v
+}
+
+// Set stores v at bit level i, replacing the previous value.
+func (w *Word7) Set(i int, v Value7) {
+	mask := uint64(1) << uint(i)
+	w.Zero &^= mask
+	w.One &^= mask
+	w.Stable &^= mask
+	w.Instable &^= mask
+	if v.ZeroBit() {
+		w.Zero |= mask
+	}
+	if v.OneBit() {
+		w.One |= mask
+	}
+	if v.StableBit() {
+		w.Stable |= mask
+	}
+	if v.InstableBit() {
+		w.Instable |= mask
+	}
+}
+
+// MergeAt accumulates the requirement v at bit level i.
+func (w *Word7) MergeAt(i int, v Value7) {
+	mask := uint64(1) << uint(i)
+	if v.ZeroBit() {
+		w.Zero |= mask
+	}
+	if v.OneBit() {
+		w.One |= mask
+	}
+	if v.StableBit() {
+		w.Stable |= mask
+	}
+	if v.InstableBit() {
+		w.Instable |= mask
+	}
+}
+
+// Merge accumulates the requirements of o into w at every bit level.
+func (w Word7) Merge(o Word7) Word7 {
+	return Word7{
+		Zero:     w.Zero | o.Zero,
+		One:      w.One | o.One,
+		Stable:   w.Stable | o.Stable,
+		Instable: w.Instable | o.Instable,
+	}
+}
+
+// MergeMasked accumulates the requirements of o into w at the bit levels
+// selected by mask.
+func (w Word7) MergeMasked(o Word7, mask uint64) Word7 {
+	return Word7{
+		Zero:     w.Zero | o.Zero&mask,
+		One:      w.One | o.One&mask,
+		Stable:   w.Stable | o.Stable&mask,
+		Instable: w.Instable | o.Instable&mask,
+	}
+}
+
+// ClearLevels resets the bit levels selected by mask to X.
+func (w Word7) ClearLevels(mask uint64) Word7 {
+	return Word7{
+		Zero:     w.Zero &^ mask,
+		One:      w.One &^ mask,
+		Stable:   w.Stable &^ mask,
+		Instable: w.Instable &^ mask,
+	}
+}
+
+// SelectLevels keeps only the bit levels selected by mask.
+func (w Word7) SelectLevels(mask uint64) Word7 {
+	return Word7{
+		Zero:     w.Zero & mask,
+		One:      w.One & mask,
+		Stable:   w.Stable & mask,
+		Instable: w.Instable & mask,
+	}
+}
+
+// Not returns the complement: the value planes are swapped while the
+// stability planes are preserved.
+func (w Word7) Not() Word7 {
+	return Word7{Zero: w.One, One: w.Zero, Stable: w.Stable, Instable: w.Instable}
+}
+
+// ConflictMask returns the mask of bit levels holding an illegal encoding:
+// both value bits set, or both stability bits set (Table 2).
+func (w Word7) ConflictMask() uint64 {
+	return (w.Zero & w.One) | (w.Stable & w.Instable)
+}
+
+// AssignedMask returns the mask of bit levels with a definite final value and
+// no conflict.
+func (w Word7) AssignedMask() uint64 {
+	return (w.Zero ^ w.One) &^ (w.Stable & w.Instable)
+}
+
+// XMask returns the mask of bit levels that are completely unassigned.
+func (w Word7) XMask() uint64 {
+	return ^(w.Zero | w.One | w.Stable | w.Instable)
+}
+
+// CoversMask returns the mask of bit levels at which w satisfies the
+// requirement o.
+func (w Word7) CoversMask(o Word7) uint64 {
+	return ^((o.Zero &^ w.Zero) | (o.One &^ w.One) | (o.Stable &^ w.Stable) | (o.Instable &^ w.Instable))
+}
+
+// ContradictsMask returns the mask of bit levels at which w directly
+// contradicts the requirement o on the final value or the stability.
+func (w Word7) ContradictsMask(o Word7) uint64 {
+	return (w.Zero & o.One) | (w.One & o.Zero) | (w.Stable & o.Instable) | (w.Instable & o.Stable)
+}
+
+// Flatten returns a word holding the value of bit level i at every bit level.
+func (w Word7) Flatten(i int) Word7 { return FillWord7(w.Get(i)) }
+
+// Weaken3 projects the word onto the three-valued logic, dropping the
+// stability planes.
+func (w Word7) Weaken3() Word3 { return Word3{Zero: w.Zero, One: w.One} }
+
+// Word7From3 lifts a three-valued word into the seven-valued logic with
+// unknown stability at every level.
+func Word7From3(w Word3) Word7 { return Word7{Zero: w.Zero, One: w.One} }
+
+// InitialPlanes returns two planes giving, per bit level, whether the initial
+// (first-vector) value is known to be 0 or known to be 1.
+func (w Word7) InitialPlanes() (init0, init1 uint64) {
+	init0 = (w.Zero & w.Stable) | (w.One & w.Instable)
+	init1 = (w.One & w.Stable) | (w.Zero & w.Instable)
+	return init0, init1
+}
+
+// String renders the word with bit level L-1 on the left, using one
+// character per level: 0/1 for final values with unknown stability, s/S for
+// stable 0/1, f/r for falling/rising transitions, x for X and C for a
+// conflict.
+func (w Word7) String() string { return w.StringN(WordWidth) }
+
+// StringN renders only the lowest n bit levels.
+func (w Word7) StringN(n int) string {
+	if n <= 0 {
+		n = 1
+	}
+	if n > WordWidth {
+		n = WordWidth
+	}
+	var sb strings.Builder
+	for i := n - 1; i >= 0; i-- {
+		v := w.Get(i)
+		switch {
+		case v.IsConflict():
+			sb.WriteByte('C')
+		case v == X7:
+			sb.WriteByte('x')
+		case v == Stable0:
+			sb.WriteByte('s')
+		case v == Stable1:
+			sb.WriteByte('S')
+		case v == Fall7:
+			sb.WriteByte('f')
+		case v == Rise7:
+			sb.WriteByte('r')
+		case v == Final0:
+			sb.WriteByte('0')
+		case v == Final1:
+			sb.WriteByte('1')
+		default:
+			sb.WriteByte('?')
+		}
+	}
+	return sb.String()
+}
+
+// ParseWord7 parses the notation produced by StringN.
+func ParseWord7(s string) (Word7, error) {
+	if len(s) > WordWidth {
+		return Word7{}, fmt.Errorf("logic: word literal %q longer than %d levels", s, WordWidth)
+	}
+	var w Word7
+	n := len(s)
+	for idx := 0; idx < n; idx++ {
+		level := n - 1 - idx
+		switch s[idx] {
+		case '0':
+			w.Set(level, Final0)
+		case '1':
+			w.Set(level, Final1)
+		case 's':
+			w.Set(level, Stable0)
+		case 'S':
+			w.Set(level, Stable1)
+		case 'f':
+			w.Set(level, Fall7)
+		case 'r':
+			w.Set(level, Rise7)
+		case 'x', 'X':
+			w.Set(level, X7)
+		case 'c', 'C':
+			w.Set(level, Stable0|Stable1)
+		default:
+			return Word7{}, fmt.Errorf("logic: invalid character %q in word literal %q", s[idx], s)
+		}
+	}
+	return w, nil
+}
+
+// EvalGate7 evaluates a gate of the given kind over bit-parallel seven-valued
+// inputs.  The result at levels where some input holds a conflict encoding is
+// unspecified.
+func EvalGate7(kind Kind, in []Word7) Word7 {
+	switch kind {
+	case Buf, Input:
+		if len(in) == 0 {
+			return Word7{}
+		}
+		return in[0]
+	case Not:
+		if len(in) == 0 {
+			return Word7{}
+		}
+		return in[0].Not()
+	case Const0:
+		return FillWord7(Stable0)
+	case Const1:
+		return FillWord7(Stable1)
+	case And:
+		return andWord7(in)
+	case Nand:
+		return andWord7(in).Not()
+	case Or:
+		return orWord7(in)
+	case Nor:
+		return orWord7(in).Not()
+	case Xor:
+		return xorWord7(in)
+	case Xnor:
+		return xorWord7(in).Not()
+	}
+	return Word7{}
+}
+
+// andWord7 is the bit-parallel counterpart of the scalar and7: the final
+// value planes follow the three-valued AND, the initial value planes follow
+// the three-valued AND of the derived initial values, the output is stable
+// where all inputs are stable or some input is a stable 0, and a transition
+// is recorded where initial and final values are known and differ.
+func andWord7(in []Word7) Word7 {
+	if len(in) == 0 {
+		return Word7{}
+	}
+	outZero := uint64(0)
+	outOne := AllLevels
+	outInit0 := uint64(0)
+	outInit1 := AllLevels
+	allStable := AllLevels
+	anyStableZero := uint64(0)
+	for _, w := range in {
+		outZero |= w.Zero
+		outOne &= w.One
+		i0, i1 := w.InitialPlanes()
+		outInit0 |= i0
+		outInit1 &= i1
+		allStable &= w.Stable
+		anyStableZero |= w.Zero & w.Stable
+	}
+	return compose7Word(outZero, outOne, outInit0, outInit1, allStable|anyStableZero)
+}
+
+func orWord7(in []Word7) Word7 {
+	if len(in) == 0 {
+		return Word7{}
+	}
+	outZero := AllLevels
+	outOne := uint64(0)
+	outInit0 := AllLevels
+	outInit1 := uint64(0)
+	allStable := AllLevels
+	anyStableOne := uint64(0)
+	for _, w := range in {
+		outZero &= w.Zero
+		outOne |= w.One
+		i0, i1 := w.InitialPlanes()
+		outInit0 &= i0
+		outInit1 |= i1
+		allStable &= w.Stable
+		anyStableOne |= w.One & w.Stable
+	}
+	return compose7Word(outZero, outOne, outInit0, outInit1, allStable|anyStableOne)
+}
+
+func xorWord7(in []Word7) Word7 {
+	if len(in) == 0 {
+		return Word7{}
+	}
+	finalAssigned := AllLevels
+	finalParity := uint64(0)
+	initAssigned := AllLevels
+	initParity := uint64(0)
+	allStable := AllLevels
+	for _, w := range in {
+		finalAssigned &= w.Zero ^ w.One
+		finalParity ^= w.One
+		i0, i1 := w.InitialPlanes()
+		initAssigned &= i0 ^ i1
+		initParity ^= i1
+		allStable &= w.Stable
+	}
+	outZero := finalAssigned &^ finalParity
+	outOne := finalAssigned & finalParity
+	outInit0 := initAssigned &^ initParity
+	outInit1 := initAssigned & initParity
+	return compose7Word(outZero, outOne, outInit0, outInit1, allStable)
+}
+
+// compose7Word assembles the four output planes from final value planes,
+// initial value planes and a per-level stability guarantee, mirroring the
+// scalar compose7.
+func compose7Word(zero, one, init0, init1, stable uint64) Word7 {
+	f0 := zero &^ one
+	f1 := one &^ zero
+	known := f0 | f1
+	outStable := known & stable
+	outInstable := ((f1 & init0) | (f0 & init1)) &^ stable
+	return Word7{
+		Zero:     zero,
+		One:      one,
+		Stable:   outStable,
+		Instable: outInstable,
+	}
+}

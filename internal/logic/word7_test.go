@@ -1,0 +1,270 @@
+package logic
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestWord7GetSet(t *testing.T) {
+	var w Word7
+	values := AllValues7()
+	for i := 0; i < WordWidth; i++ {
+		w.Set(i, values[i%len(values)])
+	}
+	for i := 0; i < WordWidth; i++ {
+		if got := w.Get(i); got != values[i%len(values)] {
+			t.Fatalf("level %d: got %v, want %v", i, got, values[i%len(values)])
+		}
+	}
+	w.Set(9, Stable1)
+	if w.Get(9) != Stable1 {
+		t.Errorf("overwrite failed: %v", w.Get(9))
+	}
+	w.MergeAt(9, Fall7)
+	if !w.Get(9).IsConflict() {
+		t.Errorf("MergeAt of incompatible requirements should conflict, got %v", w.Get(9))
+	}
+}
+
+func TestWord7FillAndMasks(t *testing.T) {
+	w := FillWord7(Rise7)
+	if w.One != AllLevels || w.Instable != AllLevels || w.Zero != 0 || w.Stable != 0 {
+		t.Fatalf("FillWord7(Rise7) = %+v", w)
+	}
+	if w.AssignedMask() != AllLevels || w.ConflictMask() != 0 || w.XMask() != 0 {
+		t.Error("mask computation wrong for a filled word")
+	}
+	var x Word7
+	if x.XMask() != AllLevels {
+		t.Error("zero word should be all X")
+	}
+	c := FillWord7(Stable0 | Stable1)
+	if c.ConflictMask() != AllLevels {
+		t.Error("0/1 conflict should be flagged at every level")
+	}
+	c2 := FillWord7(Stable1 | Rise7)
+	if c2.ConflictMask() != AllLevels {
+		t.Error("stable/instable conflict should be flagged at every level")
+	}
+}
+
+func TestWord7MergeCoversContradicts(t *testing.T) {
+	var a, b Word7
+	a.Set(0, Stable1)
+	a.Set(1, Final0)
+	a.Set(2, Rise7)
+	b.Set(0, Final1)
+	b.Set(1, Stable0)
+	b.Set(2, Fall7)
+	m := a.Merge(b)
+	if m.Get(0) != Stable1 {
+		t.Errorf("merge at level 0 = %v, want Stable1", m.Get(0))
+	}
+	if m.Get(1) != Stable0 {
+		t.Errorf("merge at level 1 = %v, want Stable0", m.Get(1))
+	}
+	if !m.Get(2).IsConflict() {
+		t.Errorf("merge at level 2 = %v, want conflict", m.Get(2))
+	}
+	if a.CoversMask(b)&LevelMask(3) != 0b001 {
+		t.Errorf("CoversMask = %03b", a.CoversMask(b)&LevelMask(3))
+	}
+	if a.ContradictsMask(b)&LevelMask(3) != 0b100 {
+		t.Errorf("ContradictsMask = %03b", a.ContradictsMask(b)&LevelMask(3))
+	}
+}
+
+func TestWord7WeakenLift(t *testing.T) {
+	var w Word7
+	w.Set(0, Stable1)
+	w.Set(1, Fall7)
+	w.Set(2, Final1)
+	w3 := w.Weaken3()
+	if w3.Get(0) != One3 || w3.Get(1) != Zero3 || w3.Get(2) != One3 || w3.Get(3) != X3 {
+		t.Errorf("Weaken3 projection wrong: %s", w3.StringN(4))
+	}
+	lift := Word7From3(w3)
+	if lift.Get(0) != Final1 || lift.Get(1) != Final0 || lift.Get(3) != X7 {
+		t.Errorf("Word7From3 lifting wrong: %s", lift.StringN(4))
+	}
+}
+
+func TestWord7InitialPlanes(t *testing.T) {
+	var w Word7
+	w.Set(0, Stable0) // initial 0
+	w.Set(1, Stable1) // initial 1
+	w.Set(2, Rise7)   // initial 0
+	w.Set(3, Fall7)   // initial 1
+	w.Set(4, Final0)  // initial unknown
+	i0, i1 := w.InitialPlanes()
+	if i0&LevelMask(5) != 0b00101 {
+		t.Errorf("init0 plane = %05b", i0&LevelMask(5))
+	}
+	if i1&LevelMask(5) != 0b01010 {
+		t.Errorf("init1 plane = %05b", i1&LevelMask(5))
+	}
+}
+
+func TestWord7StringParseRoundTrip(t *testing.T) {
+	lits := []string{"", "0", "1", "s", "S", "f", "r", "x", "C", "sSfr01x", "rrrr"}
+	for _, lit := range lits {
+		w, err := ParseWord7(lit)
+		if err != nil {
+			t.Fatalf("ParseWord7(%q): %v", lit, err)
+		}
+		if lit == "" {
+			continue
+		}
+		if got := w.StringN(len(lit)); got != lit {
+			t.Errorf("round trip of %q gave %q", lit, got)
+		}
+	}
+	if _, err := ParseWord7("0z"); err == nil {
+		t.Error("ParseWord7(\"0z\") should fail")
+	}
+}
+
+// TestEvalGate7MatchesScalar cross-checks the bit-parallel seven-valued gate
+// evaluation against the scalar reference at every bit level for random
+// non-conflicting inputs.  This is the central correctness property of the
+// Table 2 encoding.
+func TestEvalGate7MatchesScalar(t *testing.T) {
+	kinds := []Kind{Buf, Not, And, Nand, Or, Nor, Xor, Xnor}
+	vals := AllValues7()
+	rng := rand.New(rand.NewSource(1995))
+	for iter := 0; iter < 200; iter++ {
+		kind := kinds[rng.Intn(len(kinds))]
+		n := 1
+		if kind != Buf && kind != Not {
+			n = 1 + rng.Intn(4)
+		}
+		in := make([]Word7, n)
+		for i := range in {
+			for lvl := 0; lvl < WordWidth; lvl++ {
+				in[i].Set(lvl, vals[rng.Intn(len(vals))])
+			}
+		}
+		out := EvalGate7(kind, in)
+		for lvl := 0; lvl < WordWidth; lvl++ {
+			scalarIn := make([]Value7, n)
+			for i := range in {
+				scalarIn[i] = in[i].Get(lvl)
+			}
+			want := Eval7(kind, scalarIn...)
+			if got := out.Get(lvl); got != want {
+				t.Fatalf("kind %v level %d: parallel %v, scalar %v (inputs %v)",
+					kind, lvl, got, want, scalarIn)
+			}
+		}
+	}
+}
+
+// TestEvalGate7SingleLevelProperty mirrors the 3-valued property test with
+// testing/quick over single levels.
+func TestEvalGate7SingleLevelProperty(t *testing.T) {
+	kinds := []Kind{And, Nand, Or, Nor, Xor, Xnor}
+	vals := AllValues7()
+	f := func(kindIdx uint8, raw [3]uint8, level uint8) bool {
+		kind := kinds[int(kindIdx)%len(kinds)]
+		lvl := int(level) % WordWidth
+		in := make([]Word7, len(raw))
+		scalarIn := make([]Value7, len(raw))
+		for i, r := range raw {
+			v := vals[int(r)%len(vals)]
+			scalarIn[i] = v
+			in[i].Set(lvl, v)
+		}
+		out := EvalGate7(kind, in)
+		return out.Get(lvl) == Eval7(kind, scalarIn...)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestEvalGate7WeakensToGate3 checks that projecting the seven-valued word
+// evaluation onto three values agrees with the three-valued word evaluation
+// of the projected inputs, at every level.
+func TestEvalGate7WeakensToGate3(t *testing.T) {
+	kinds := []Kind{And, Nand, Or, Nor, Xor, Xnor}
+	vals := AllValues7()
+	rng := rand.New(rand.NewSource(42))
+	for iter := 0; iter < 100; iter++ {
+		kind := kinds[rng.Intn(len(kinds))]
+		n := 1 + rng.Intn(4)
+		in7 := make([]Word7, n)
+		in3 := make([]Word3, n)
+		for i := range in7 {
+			for lvl := 0; lvl < WordWidth; lvl++ {
+				in7[i].Set(lvl, vals[rng.Intn(len(vals))])
+			}
+			in3[i] = in7[i].Weaken3()
+		}
+		got := EvalGate7(kind, in7).Weaken3()
+		want := EvalGate3(kind, in3)
+		if got != want {
+			t.Fatalf("kind %v: projection mismatch\n got %s\nwant %s", kind, got.String(), want.String())
+		}
+	}
+}
+
+func TestEvalGate7Constants(t *testing.T) {
+	if EvalGate7(Const0, nil) != FillWord7(Stable0) {
+		t.Error("Const0 evaluation wrong")
+	}
+	if EvalGate7(Const1, nil) != FillWord7(Stable1) {
+		t.Error("Const1 evaluation wrong")
+	}
+	if (EvalGate7(And, nil) != Word7{}) {
+		t.Error("AND of no inputs should be X")
+	}
+	in := FillWord7(Rise7)
+	if EvalGate7(Buf, []Word7{in}) != in {
+		t.Error("BUF should copy its input")
+	}
+	if EvalGate7(Not, []Word7{in}) != FillWord7(Fall7) {
+		t.Error("NOT should turn a rising transition into a falling one")
+	}
+}
+
+func TestWord7FlattenClearSelect(t *testing.T) {
+	var w Word7
+	w.Set(0, Rise7)
+	w.Set(1, Stable0)
+	f := w.Flatten(0)
+	if f != FillWord7(Rise7) {
+		t.Errorf("Flatten(0) wrong: %s", f.StringN(4))
+	}
+	cl := w.ClearLevels(1)
+	if cl.Get(0) != X7 || cl.Get(1) != Stable0 {
+		t.Errorf("ClearLevels wrong: %s", cl.StringN(4))
+	}
+	sel := w.SelectLevels(1)
+	if sel.Get(0) != Rise7 || sel.Get(1) != X7 {
+		t.Errorf("SelectLevels wrong: %s", sel.StringN(4))
+	}
+	m := w.MergeMasked(FillWord7(Final1), 0b10)
+	if m.Get(0) != Rise7 || !m.Get(1).IsConflict() {
+		t.Errorf("MergeMasked wrong: %v %v", m.Get(0), m.Get(1))
+	}
+}
+
+func BenchmarkTable2GateEval(b *testing.B) {
+	// Evaluates a 4-input AND over all 64 bit levels in the seven-valued
+	// robust logic; roughly twice the plane work of the Table 1 encoding.
+	vals := AllValues7()
+	in := make([]Word7, 4)
+	rng := rand.New(rand.NewSource(7))
+	for i := range in {
+		for lvl := 0; lvl < WordWidth; lvl++ {
+			in[i].Set(lvl, vals[rng.Intn(len(vals))])
+		}
+	}
+	b.ResetTimer()
+	var sink Word7
+	for i := 0; i < b.N; i++ {
+		sink = EvalGate7(And, in)
+	}
+	_ = sink
+}

@@ -1,0 +1,117 @@
+package paths
+
+import (
+	"math"
+	"math/big"
+
+	"repro/internal/circuit"
+	"repro/internal/logic"
+)
+
+// CountPaths returns the exact number of structural paths in the circuit
+// (from any primary input to any primary output).  The count is computed
+// with a single topological sweep and is exact even for circuits whose path
+// count exceeds the range of uint64 (such as c6288-class multipliers).
+func CountPaths(c *circuit.Circuit) *big.Int {
+	toOut := PathsToOutputs(c)
+	total := new(big.Int)
+	for _, in := range c.Inputs() {
+		total.Add(total, toOut[in])
+	}
+	return total
+}
+
+// CountFaults returns the number of path delay faults, i.e. twice the number
+// of structural paths (a rising and a falling fault per path).  This is the
+// "# faults" column of Tables 3 and 4 of the paper.
+func CountFaults(c *circuit.Circuit) *big.Int {
+	n := CountPaths(c)
+	return n.Mul(n, big.NewInt(2))
+}
+
+// PathsToOutputs returns, for every net, the exact number of structural
+// paths from that net to any primary output.  A primary output that also
+// feeds further logic contributes both the path ending there and the paths
+// continuing through it.
+func PathsToOutputs(c *circuit.Circuit) []*big.Int {
+	counts := make([]*big.Int, c.NumNets())
+	order := c.TopoOrder()
+	for i := len(order) - 1; i >= 0; i-- {
+		id := order[i]
+		g := c.Gate(id)
+		n := new(big.Int)
+		if g.IsOutput {
+			n.SetInt64(1)
+		}
+		for _, fo := range g.Fanout {
+			n.Add(n, counts[fo])
+		}
+		counts[id] = n
+	}
+	return counts
+}
+
+// PathsFromInputs returns, for every net, the exact number of structural
+// paths from any primary input to that net.
+func PathsFromInputs(c *circuit.Circuit) []*big.Int {
+	counts := make([]*big.Int, c.NumNets())
+	for _, id := range c.TopoOrder() {
+		g := c.Gate(id)
+		n := new(big.Int)
+		if g.Kind == logic.Input {
+			n.SetInt64(1)
+		}
+		for _, f := range g.Fanin {
+			n.Add(n, counts[f])
+		}
+		counts[id] = n
+	}
+	return counts
+}
+
+// PathsThrough returns, for every net, the exact number of structural paths
+// passing through (or starting/ending at) that net.
+func PathsThrough(c *circuit.Circuit) []*big.Int {
+	from := PathsFromInputs(c)
+	to := PathsToOutputs(c)
+	out := make([]*big.Int, c.NumNets())
+	for i := range out {
+		out[i] = new(big.Int).Mul(from[i], to[i])
+	}
+	return out
+}
+
+// ApproxPathsToOutputs is the float64 variant of PathsToOutputs, used by
+// heuristics (weighted path sampling, backtrace guidance) where exactness is
+// unnecessary.  Counts that overflow float64 saturate at +Inf.
+func ApproxPathsToOutputs(c *circuit.Circuit) []float64 {
+	counts := make([]float64, c.NumNets())
+	order := c.TopoOrder()
+	for i := len(order) - 1; i >= 0; i-- {
+		id := order[i]
+		g := c.Gate(id)
+		n := 0.0
+		if g.IsOutput {
+			n = 1
+		}
+		for _, fo := range g.Fanout {
+			n += counts[fo]
+		}
+		if math.IsInf(n, 1) {
+			n = math.MaxFloat64
+		}
+		counts[id] = n
+	}
+	return counts
+}
+
+// CountPathsFloat returns the structural path count as a float64 (saturating
+// on overflow); convenient for reporting and sampling weights.
+func CountPathsFloat(c *circuit.Circuit) float64 {
+	toOut := ApproxPathsToOutputs(c)
+	total := 0.0
+	for _, in := range c.Inputs() {
+		total += toOut[in]
+	}
+	return total
+}

@@ -1,0 +1,245 @@
+package paths
+
+import (
+	"math/rand"
+	"sort"
+
+	"repro/internal/circuit"
+)
+
+// EnumOptions configures a path Enumerator.
+type EnumOptions struct {
+	// MaxPaths limits the number of paths produced; 0 means no limit.
+	MaxPaths int
+	// FromInputs restricts enumeration to paths starting at the given
+	// primary inputs; empty means all inputs.
+	FromInputs []circuit.NetID
+	// MinLen and MaxLen restrict the number of nets on a path; 0 means
+	// unrestricted.
+	MinLen int
+	MaxLen int
+}
+
+// Enumerator lazily produces the structural paths of a circuit in
+// depth-first order.  It never materialises more than one path at a time, so
+// circuits with millions of paths can be walked with a bounded budget.
+type Enumerator struct {
+	c       *circuit.Circuit
+	opts    EnumOptions
+	stack   []frame
+	current []circuit.NetID
+	emitted int
+	done    bool
+}
+
+type frame struct {
+	net  circuit.NetID
+	next int // next fanout alternative to explore (0 == emit-if-output not yet considered)
+}
+
+// NewEnumerator returns an enumerator over the structural paths of c.
+func NewEnumerator(c *circuit.Circuit, opts EnumOptions) *Enumerator {
+	e := &Enumerator{c: c, opts: opts}
+	inputs := opts.FromInputs
+	if len(inputs) == 0 {
+		inputs = c.Inputs()
+	}
+	// Seed the stack with the starting inputs in reverse order so they are
+	// explored in declaration order.
+	for i := len(inputs) - 1; i >= 0; i-- {
+		e.stack = append(e.stack, frame{net: inputs[i], next: -1})
+	}
+	return e
+}
+
+// Next returns the next structural path and true, or a zero path and false
+// when the enumeration is exhausted (or the MaxPaths budget is reached).
+// The returned path shares no storage with the enumerator.
+func (e *Enumerator) Next() (Path, bool) {
+	if e.done {
+		return Path{}, false
+	}
+	for len(e.stack) > 0 {
+		if e.opts.MaxPaths > 0 && e.emitted >= e.opts.MaxPaths {
+			e.done = true
+			return Path{}, false
+		}
+		top := &e.stack[len(e.stack)-1]
+		if top.next == -1 {
+			// First visit of this frame: push the net onto the current path
+			// and emit it if it is a primary output.
+			e.current = append(e.current, top.net)
+			top.next = 0
+			if e.c.IsOutput(top.net) && e.lenOK(len(e.current)) {
+				e.emitted++
+				return Path{Nets: append([]circuit.NetID(nil), e.current...)}, true
+			}
+			continue
+		}
+		g := e.c.Gate(top.net)
+		if top.next < len(g.Fanout) && (e.opts.MaxLen == 0 || len(e.current) < e.opts.MaxLen) {
+			child := g.Fanout[top.next]
+			top.next++
+			e.stack = append(e.stack, frame{net: child, next: -1})
+			continue
+		}
+		// Exhausted this net: pop it from both stacks.
+		e.stack = e.stack[:len(e.stack)-1]
+		e.current = e.current[:len(e.current)-1]
+	}
+	e.done = true
+	return Path{}, false
+}
+
+func (e *Enumerator) lenOK(n int) bool {
+	if e.opts.MinLen > 0 && n < e.opts.MinLen {
+		return false
+	}
+	if e.opts.MaxLen > 0 && n > e.opts.MaxLen {
+		return false
+	}
+	return true
+}
+
+// Enumerate collects up to limit structural paths of c (all of them when
+// limit <= 0).
+func Enumerate(c *circuit.Circuit, limit int) []Path {
+	e := NewEnumerator(c, EnumOptions{MaxPaths: limit})
+	var out []Path
+	for {
+		p, ok := e.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, p)
+	}
+}
+
+// EnumerateFaults collects up to limit path delay faults (two per structural
+// path, rising first).  A limit <= 0 collects all faults.
+func EnumerateFaults(c *circuit.Circuit, limit int) []Fault {
+	pathLimit := 0
+	if limit > 0 {
+		pathLimit = (limit + 1) / 2
+	}
+	ps := Enumerate(c, pathLimit)
+	fs := Faults(ps, true)
+	if limit > 0 && len(fs) > limit {
+		fs = fs[:limit]
+	}
+	return fs
+}
+
+// Sample returns n structural paths drawn (approximately) uniformly at
+// random from the set of all structural paths, using weighted random walks
+// from the primary inputs: at every step the next edge is chosen with
+// probability proportional to the number of paths continuing through it.
+// Sampling is deterministic for a given seed.  Duplicate paths may appear
+// when n approaches the total path count.
+func Sample(c *circuit.Circuit, n int, seed int64) []Path {
+	if n <= 0 {
+		return nil
+	}
+	weights := ApproxPathsToOutputs(c)
+	rng := rand.New(rand.NewSource(seed))
+
+	inputs := c.Inputs()
+	inputWeights := make([]float64, len(inputs))
+	total := 0.0
+	for i, in := range inputs {
+		inputWeights[i] = weights[in]
+		total += weights[in]
+	}
+	if total == 0 {
+		return nil
+	}
+
+	out := make([]Path, 0, n)
+	for len(out) < n {
+		// Pick a starting input weighted by its path count.
+		r := rng.Float64() * total
+		idx := 0
+		for ; idx < len(inputs)-1; idx++ {
+			if r < inputWeights[idx] {
+				break
+			}
+			r -= inputWeights[idx]
+		}
+		nets := []circuit.NetID{inputs[idx]}
+		cur := inputs[idx]
+		for {
+			g := c.Gate(cur)
+			// Decide whether to stop here (if cur is an output) or continue,
+			// weighted by the respective path counts.
+			contWeight := 0.0
+			for _, fo := range g.Fanout {
+				contWeight += weights[fo]
+			}
+			stopWeight := 0.0
+			if g.IsOutput {
+				stopWeight = 1.0
+			}
+			if contWeight+stopWeight == 0 {
+				break // dead end (cannot happen in validated circuits)
+			}
+			if rng.Float64()*(contWeight+stopWeight) < stopWeight {
+				out = append(out, Path{Nets: append([]circuit.NetID(nil), nets...)})
+				break
+			}
+			// Choose the next fanout edge weighted by its path count.
+			r := rng.Float64() * contWeight
+			next := g.Fanout[len(g.Fanout)-1]
+			for _, fo := range g.Fanout {
+				if r < weights[fo] {
+					next = fo
+					break
+				}
+				r -= weights[fo]
+			}
+			nets = append(nets, next)
+			cur = next
+		}
+	}
+	return out
+}
+
+// SampleFaults returns n path delay faults drawn from uniformly sampled
+// paths, alternating rising and falling transitions.
+func SampleFaults(c *circuit.Circuit, n int, seed int64) []Fault {
+	if n <= 0 {
+		return nil
+	}
+	ps := Sample(c, (n+1)/2, seed)
+	fs := Faults(ps, true)
+	if len(fs) > n {
+		fs = fs[:n]
+	}
+	return fs
+}
+
+// LongestPaths returns up to n of the structurally longest paths (by net
+// count).  Long paths are the natural first targets for delay testing, since
+// they have the least timing slack.  The implementation enumerates lazily
+// but bounds its work to maxExplore paths (0 means 4*n*circuit depth).
+func LongestPaths(c *circuit.Circuit, n, maxExplore int) []Path {
+	if n <= 0 {
+		return nil
+	}
+	if maxExplore <= 0 {
+		maxExplore = 4 * n * (c.MaxLevel() + 2)
+	}
+	e := NewEnumerator(c, EnumOptions{MaxPaths: maxExplore})
+	var all []Path
+	for {
+		p, ok := e.Next()
+		if !ok {
+			break
+		}
+		all = append(all, p)
+	}
+	sort.SliceStable(all, func(i, j int) bool { return all[i].Len() > all[j].Len() })
+	if len(all) > n {
+		all = all[:n]
+	}
+	return all
+}

@@ -1,0 +1,233 @@
+// Package pattern represents two-vector delay test patterns and test sets.
+//
+// A path delay test is a pair of input vectors (V1, V2): V1 initialises the
+// circuit, V2 launches the transitions, and the outputs are sampled one
+// clock period after V2 is applied.  Vectors are stored positionally,
+// aligned with circuit.Inputs().
+package pattern
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/circuit"
+	"repro/internal/logic"
+)
+
+// Pair is a two-vector test.  V1 and V2 hold one three-valued value per
+// primary input, in the order of circuit.Inputs().  X entries are inputs the
+// test does not care about.
+type Pair struct {
+	V1 []logic.Value3
+	V2 []logic.Value3
+}
+
+// NewPair returns a pair with both vectors fully unassigned for a circuit
+// with n primary inputs.
+func NewPair(n int) Pair {
+	p := Pair{V1: make([]logic.Value3, n), V2: make([]logic.Value3, n)}
+	for i := 0; i < n; i++ {
+		p.V1[i] = logic.X3
+		p.V2[i] = logic.X3
+	}
+	return p
+}
+
+// Len returns the number of inputs covered by the pair.
+func (p Pair) Len() int { return len(p.V2) }
+
+// Clone returns a deep copy.
+func (p Pair) Clone() Pair {
+	return Pair{
+		V1: append([]logic.Value3(nil), p.V1...),
+		V2: append([]logic.Value3(nil), p.V2...),
+	}
+}
+
+// FillX replaces every unassigned value by fill in both vectors (keeping
+// V1 = V2 at positions where both were X, so no spurious transitions are
+// introduced).
+func (p Pair) FillX(fill logic.Value3) Pair {
+	out := p.Clone()
+	for i := range out.V1 {
+		if out.V2[i] == logic.X3 {
+			out.V2[i] = fill
+		}
+		if out.V1[i] == logic.X3 {
+			out.V1[i] = out.V2[i]
+		}
+	}
+	return out
+}
+
+// Value7 returns the seven-valued value seen by input position i across the
+// two vectors: a stable value when V1 equals V2, a transition when they
+// differ, and the weaker final-only value when V1 is unknown.
+func (p Pair) Value7(i int) logic.Value7 {
+	v1, v2 := p.V1[i], p.V2[i]
+	switch {
+	case !v2.IsAssigned():
+		return logic.X7
+	case !v1.IsAssigned():
+		return logic.Value7From3(v2)
+	case v1 == v2 && v2 == logic.One3:
+		return logic.Stable1
+	case v1 == v2:
+		return logic.Stable0
+	case v2 == logic.One3:
+		return logic.Rise7
+	default:
+		return logic.Fall7
+	}
+}
+
+// Transitions returns the number of input positions whose value changes
+// between V1 and V2.
+func (p Pair) Transitions() int {
+	n := 0
+	for i := range p.V1 {
+		if p.V1[i].IsAssigned() && p.V2[i].IsAssigned() && p.V1[i] != p.V2[i] {
+			n++
+		}
+	}
+	return n
+}
+
+// String renders the pair as "V1 -> V2" bit strings (x for unassigned),
+// input 0 leftmost.
+func (p Pair) String() string {
+	return vectorString(p.V1) + " -> " + vectorString(p.V2)
+}
+
+func vectorString(v []logic.Value3) string {
+	var sb strings.Builder
+	for _, x := range v {
+		sb.WriteString(x.String())
+	}
+	return strings.ToLower(sb.String())
+}
+
+// ParsePair parses the notation produced by String.
+func ParsePair(s string) (Pair, error) {
+	parts := strings.Split(s, "->")
+	if len(parts) != 2 {
+		return Pair{}, fmt.Errorf("pattern: missing \"->\" in %q", s)
+	}
+	v1, err := parseVector(strings.TrimSpace(parts[0]))
+	if err != nil {
+		return Pair{}, err
+	}
+	v2, err := parseVector(strings.TrimSpace(parts[1]))
+	if err != nil {
+		return Pair{}, err
+	}
+	if len(v1) != len(v2) {
+		return Pair{}, fmt.Errorf("pattern: vector lengths differ in %q", s)
+	}
+	return Pair{V1: v1, V2: v2}, nil
+}
+
+func parseVector(s string) ([]logic.Value3, error) {
+	out := make([]logic.Value3, len(s))
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '0':
+			out[i] = logic.Zero3
+		case '1':
+			out[i] = logic.One3
+		case 'x', 'X':
+			out[i] = logic.X3
+		default:
+			return nil, fmt.Errorf("pattern: invalid character %q in vector %q", s[i], s)
+		}
+	}
+	return out, nil
+}
+
+// Set is an ordered collection of test pairs for one circuit.
+type Set struct {
+	InputNames []string
+	Pairs      []Pair
+	// Targets optionally records, per pair, a description of the fault the
+	// pair was generated for (informational only).
+	Targets []string
+}
+
+// NewSet returns an empty test set for the circuit.
+func NewSet(c *circuit.Circuit) *Set {
+	names := make([]string, len(c.Inputs()))
+	for i, in := range c.Inputs() {
+		names[i] = c.NetName(in)
+	}
+	return &Set{InputNames: names}
+}
+
+// Add appends a pair (with an optional target description).
+func (s *Set) Add(p Pair, target string) {
+	s.Pairs = append(s.Pairs, p)
+	s.Targets = append(s.Targets, target)
+}
+
+// Len returns the number of pairs in the set.
+func (s *Set) Len() int { return len(s.Pairs) }
+
+// Write emits the test set in a simple text format: a header line with the
+// input names, then one "V1 -> V2  # target" line per pair.
+func (s *Set) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# inputs: %s\n", strings.Join(s.InputNames, " "))
+	for i, p := range s.Pairs {
+		target := ""
+		if i < len(s.Targets) && s.Targets[i] != "" {
+			target = "  # " + s.Targets[i]
+		}
+		fmt.Fprintf(bw, "%s%s\n", p.String(), target)
+	}
+	return bw.Flush()
+}
+
+// Read parses a test set written by Write.  Input names are restored from
+// the header when present.
+func Read(r io.Reader) (*Set, error) {
+	s := &Set{}
+	scanner := bufio.NewScanner(r)
+	scanner.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	for scanner.Scan() {
+		lineNo++
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if strings.HasPrefix(line, "# inputs:") && s.InputNames == nil {
+				s.InputNames = strings.Fields(strings.TrimPrefix(line, "# inputs:"))
+			}
+			continue
+		}
+		target := ""
+		if idx := strings.Index(line, "#"); idx >= 0 {
+			target = strings.TrimSpace(line[idx+1:])
+			line = strings.TrimSpace(line[:idx])
+		}
+		p, err := ParsePair(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		s.Pairs = append(s.Pairs, p)
+		s.Targets = append(s.Targets, target)
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// String renders the whole set.
+func (s *Set) String() string {
+	var sb strings.Builder
+	_ = s.Write(&sb)
+	return sb.String()
+}

@@ -1,0 +1,124 @@
+package pattern
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/logic"
+)
+
+func TestPairBasics(t *testing.T) {
+	p := NewPair(4)
+	if p.Len() != 4 {
+		t.Fatalf("Len = %d", p.Len())
+	}
+	for i := 0; i < 4; i++ {
+		if p.V1[i] != logic.X3 || p.V2[i] != logic.X3 {
+			t.Fatal("new pair should be all X")
+		}
+	}
+	p.V1[0], p.V2[0] = logic.Zero3, logic.One3 // rising
+	p.V1[1], p.V2[1] = logic.One3, logic.One3  // stable 1
+	p.V1[2], p.V2[2] = logic.X3, logic.Zero3   // final 0 only
+	if p.Value7(0) != logic.Rise7 {
+		t.Errorf("Value7(0) = %v", p.Value7(0))
+	}
+	if p.Value7(1) != logic.Stable1 {
+		t.Errorf("Value7(1) = %v", p.Value7(1))
+	}
+	if p.Value7(2) != logic.Final0 {
+		t.Errorf("Value7(2) = %v", p.Value7(2))
+	}
+	if p.Value7(3) != logic.X7 {
+		t.Errorf("Value7(3) = %v", p.Value7(3))
+	}
+	if p.Transitions() != 1 {
+		t.Errorf("Transitions = %d, want 1", p.Transitions())
+	}
+
+	clone := p.Clone()
+	clone.V1[0] = logic.One3
+	if p.V1[0] != logic.Zero3 {
+		t.Error("Clone shares storage")
+	}
+
+	filled := p.FillX(logic.Zero3)
+	if filled.V2[3] != logic.Zero3 || filled.V1[3] != logic.Zero3 {
+		t.Error("FillX should fill unassigned positions")
+	}
+	if filled.V1[2] != logic.Zero3 {
+		t.Error("FillX should copy the final value into an unknown initial value")
+	}
+	if filled.Transitions() != 1 {
+		t.Error("FillX must not introduce new transitions")
+	}
+}
+
+func TestPairStringRoundTrip(t *testing.T) {
+	p := NewPair(3)
+	p.V1[0], p.V2[0] = logic.Zero3, logic.One3
+	p.V1[1], p.V2[1] = logic.One3, logic.One3
+	s := p.String()
+	if s != "01x -> 11x" {
+		t.Errorf("String = %q", s)
+	}
+	q, err := ParsePair(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.String() != s {
+		t.Errorf("round trip gave %q", q.String())
+	}
+	if _, err := ParsePair("01"); err == nil {
+		t.Error("pair without -> should fail")
+	}
+	if _, err := ParsePair("01 -> 0"); err == nil {
+		t.Error("mismatched lengths should fail")
+	}
+	if _, err := ParsePair("0z -> 00"); err == nil {
+		t.Error("bad character should fail")
+	}
+}
+
+func TestSetWriteRead(t *testing.T) {
+	c := bench.C17()
+	s := NewSet(c)
+	if len(s.InputNames) != 5 {
+		t.Fatalf("input names = %v", s.InputNames)
+	}
+	p1 := NewPair(5).FillX(logic.Zero3)
+	p2 := NewPair(5).FillX(logic.One3)
+	p2.V1[0] = logic.Zero3
+	s.Add(p1, "fault A")
+	s.Add(p2, "")
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	text := s.String()
+	if !strings.Contains(text, "# inputs: 1 2 3 6 7") {
+		t.Errorf("missing header in:\n%s", text)
+	}
+	if !strings.Contains(text, "fault A") {
+		t.Errorf("missing target comment in:\n%s", text)
+	}
+	back, err := Read(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 2 {
+		t.Fatalf("read back %d pairs", back.Len())
+	}
+	if back.Pairs[1].String() != p2.String() {
+		t.Errorf("pair 1 changed: %q vs %q", back.Pairs[1].String(), p2.String())
+	}
+	if back.Targets[0] != "fault A" {
+		t.Errorf("target lost: %q", back.Targets[0])
+	}
+	if len(back.InputNames) != 5 {
+		t.Errorf("input names lost: %v", back.InputNames)
+	}
+	if _, err := Read(strings.NewReader("garbage line\n")); err == nil {
+		t.Error("malformed set should fail to parse")
+	}
+}
