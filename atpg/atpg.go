@@ -1,0 +1,229 @@
+package atpg
+
+import (
+	"context"
+	"fmt"
+	"iter"
+
+	"repro/internal/core"
+	"repro/internal/pattern"
+)
+
+// Status is the final classification of a target fault.
+type Status = core.Status
+
+// The fault classifications.
+const (
+	// Pending: not yet processed.  Run and Stream never return Pending
+	// results (canceled faults come back Aborted with Err set); the value
+	// exists as the zero status.
+	Pending = core.Pending
+	// Tested: a two-vector test was generated for the fault.
+	Tested = core.Tested
+	// Redundant: the fault was proved untestable in the selected class.
+	Redundant = core.Redundant
+	// Aborted: the generator gave up within its limits (or was canceled;
+	// then the result's Err field carries the cause).
+	Aborted = core.Aborted
+	// DetectedBySim: dropped because another fault's test already detects
+	// it, found by the interleaved fault simulation.
+	DetectedBySim = core.DetectedBySim
+)
+
+// Phase identifies which part of the generator settled a fault.
+type Phase = core.Phase
+
+// The generator phases.
+const (
+	PhaseNone       = core.PhaseNone
+	PhaseFPTPG      = core.PhaseFPTPG
+	PhaseAPTPG      = core.PhaseAPTPG
+	PhaseSimulation = core.PhaseSimulation
+	PhasePruning    = core.PhasePruning
+)
+
+// Result is the outcome for one target fault: its classification, the phase
+// that settled it, the generated test (when Status == Tested), the index of
+// the detecting pattern in the engine's test set, and the search effort
+// spent.
+type Result = core.FaultResult
+
+// TestPair is a two-vector test: the initialization vector V1 followed by
+// the propagation vector V2, one value per primary input.
+type TestPair = pattern.Pair
+
+// TestSet is an ordered collection of test pairs with the fault each pair
+// was generated for; it can be written to and re-read from a simple text
+// format (Write/Read, see also [LoadTests]).
+type TestSet = pattern.Set
+
+// Stats aggregates a generator run: per-classification fault counts, pattern
+// and search-effort counters, and the sensitization/generation time split
+// reported in Tables 5 and 6.
+type Stats = core.Stats
+
+// Coverage summarizes how well the generated test set covers the targeted
+// faults.
+type Coverage struct {
+	// Faults is the number of faults targeted so far.
+	Faults int
+	// Detected counts faults covered by the test set: tested directly or
+	// detected by the interleaved simulation.
+	Detected int
+	// Redundant counts faults proved untestable.
+	Redundant int
+	// Aborted counts faults given up on.
+	Aborted int
+	// Patterns is the size of the generated test set.
+	Patterns int
+}
+
+// Fraction returns the covered fraction of the targeted faults (0..1).
+func (c Coverage) Fraction() float64 {
+	if c.Faults == 0 {
+		return 0
+	}
+	return float64(c.Detected) / float64(c.Faults)
+}
+
+// Efficiency returns the paper's fault efficiency metric,
+// (1 - aborted/faults) * 100%.
+func (c Coverage) Efficiency() float64 {
+	if c.Faults == 0 {
+		return 100
+	}
+	return (1 - float64(c.Aborted)/float64(c.Faults)) * 100
+}
+
+// Engine is the bit-parallel path delay fault test pattern generator, bound
+// to one circuit and one configuration.  Run and Stream may be called
+// several times; the test set, statistics and learned redundant subpaths
+// accumulate across calls.  An Engine is not safe for concurrent use.
+type Engine struct {
+	circuit  *Circuit
+	gen      *core.Generator
+	progress func(Result)
+}
+
+// New builds an engine for the circuit.  Without options it generates
+// robust tests at the full word width with both FPTPG and APTPG enabled and
+// fault simulation after every L patterns, the configuration of the paper's
+// main experiments.  Invalid options fail construction (e.g. ErrBadWidth
+// for an out-of-range WithWordWidth).
+func New(c *Circuit, opts ...Option) (*Engine, error) {
+	if c == nil || c.c == nil {
+		return nil, ErrNilCircuit
+	}
+	cfg := engineConfig{opts: core.DefaultOptions(Robust)}
+	for _, opt := range opts {
+		if err := opt(&cfg); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.simInterval != nil {
+		cfg.opts.FaultSimInterval = *cfg.simInterval
+	} else {
+		cfg.opts.FaultSimInterval = cfg.opts.WordWidth
+	}
+	return &Engine{
+		circuit:  c,
+		gen:      core.New(c.c, cfg.opts),
+		progress: cfg.progress,
+	}, nil
+}
+
+// Circuit returns the circuit the engine generates tests for.
+func (e *Engine) Circuit() *Circuit { return e.circuit }
+
+// Mode returns the test class the engine generates.
+func (e *Engine) Mode() Mode { return e.gen.Options().Mode }
+
+// WordWidth returns the number of bit levels L the engine exploits.
+func (e *Engine) WordWidth() int { return e.gen.Options().WordWidth }
+
+// Run generates tests for the given faults and returns one result per
+// fault, in input order.  It honors ctx: on cancellation or deadline expiry
+// the run stops early, the error matches ErrCanceled (and wraps the context
+// cause), and every fault that had not settled is returned as Aborted with
+// the cause in its Err field.  An empty fault list yields ErrNoFaults.
+func (e *Engine) Run(ctx context.Context, faults []Fault) ([]Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if len(faults) == 0 {
+		return nil, ErrNoFaults
+	}
+	e.gen.OnSettle = e.progress
+	defer func() { e.gen.OnSettle = nil }()
+	results := e.gen.Run(ctx, faults)
+	if ctx.Err() != nil {
+		return results, fmt.Errorf("%w after %d of %d faults: %w",
+			ErrCanceled, settledCount(results), len(faults), context.Cause(ctx))
+	}
+	return results, nil
+}
+
+// Stream generates tests for the given faults and yields each fault's
+// result as soon as its classification is final — generally not in input
+// order: redundant and easy faults settle first, simulation-detected ones
+// whenever a new pattern covers them.  Callers can stop consuming at any
+// time (break), which cancels the rest of the generation; cancelling ctx
+// has the same effect.  After the stream ends, [Engine.Coverage] and
+// [Engine.Tests] reflect everything generated.
+func (e *Engine) Stream(ctx context.Context, faults []Fault) iter.Seq[Result] {
+	return func(yield func(Result) bool) {
+		if len(faults) == 0 {
+			return
+		}
+		if ctx == nil {
+			ctx = context.Background()
+		}
+		runCtx, cancel := context.WithCancel(ctx)
+		defer cancel()
+		stopped := false
+		e.gen.OnSettle = func(r Result) {
+			if e.progress != nil {
+				e.progress(r)
+			}
+			if stopped {
+				return
+			}
+			if !yield(r) {
+				stopped = true
+				cancel()
+			}
+		}
+		defer func() { e.gen.OnSettle = nil }()
+		e.gen.Run(runCtx, faults)
+	}
+}
+
+// Tests returns the test set generated so far (accumulated across runs).
+func (e *Engine) Tests() *TestSet { return e.gen.TestSet() }
+
+// Stats returns the accumulated generator statistics.
+func (e *Engine) Stats() Stats { return e.gen.Stats() }
+
+// Coverage summarizes the accumulated runs.
+func (e *Engine) Coverage() Coverage {
+	st := e.gen.Stats()
+	return Coverage{
+		Faults:    st.Faults,
+		Detected:  st.Tested + st.DetectedBySim,
+		Redundant: st.Redundant,
+		Aborted:   st.Aborted,
+		Patterns:  st.Patterns,
+	}
+}
+
+// settledCount counts the faults that reached a real classification (i.e.
+// were not cut short by cancellation).
+func settledCount(results []Result) int {
+	n := 0
+	for i := range results {
+		if results[i].Status != Pending && results[i].Err == nil {
+			n++
+		}
+	}
+	return n
+}

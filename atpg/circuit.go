@@ -1,0 +1,170 @@
+package atpg
+
+import (
+	"errors"
+	"io"
+	"math/big"
+	"os"
+	"sort"
+
+	"repro/internal/bench"
+	"repro/internal/circuit"
+	"repro/internal/paths"
+)
+
+// Circuit is a combinational benchmark circuit, the unit every other API in
+// this package operates on.  Obtain one with [LoadBench], [ParseBench],
+// [Builtin] or [Synthesize]; a Circuit is immutable and safe to share.
+type Circuit struct {
+	c *circuit.Circuit
+}
+
+// CircuitStats holds the structural statistics of a circuit (gate counts,
+// depth, fanin/fanout extremes, per-kind gate counts).
+type CircuitStats = circuit.Stats
+
+// LoadCircuit returns the circuit selected by a built-in name or a .bench
+// file path; exactly one of the two must be non-empty.  It is the common
+// selection logic of the command-line tools' -circuit/-bench flag pairs.
+func LoadCircuit(builtin, benchPath string) (*Circuit, error) {
+	switch {
+	case builtin != "" && benchPath != "":
+		return nil, errors.New("atpg: specify either a built-in circuit name or a .bench file, not both")
+	case builtin != "":
+		return Builtin(builtin)
+	case benchPath != "":
+		return LoadBench(benchPath)
+	default:
+		return nil, errors.New("atpg: no circuit specified (want a built-in name or a .bench file)")
+	}
+}
+
+// LoadBench reads an ISCAS .bench file from disk.  Sequential designs are
+// converted to their combinational core: D flip-flops are removed, with DFF
+// outputs becoming pseudo primary inputs and DFF data inputs pseudo primary
+// outputs, exactly as in the paper's experimental setup.  Malformed input
+// yields a *ParseError carrying the file and line of the problem.
+func LoadBench(path string) (*Circuit, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ParseBench(path, f)
+}
+
+// ParseBench reads a circuit in ISCAS .bench format from r; name is used in
+// error messages and as the circuit name.
+func ParseBench(name string, r io.Reader) (*Circuit, error) {
+	c, err := circuit.ParseBench(name, r)
+	if err != nil {
+		return nil, err
+	}
+	return &Circuit{c: c}, nil
+}
+
+// Builtin returns one of the built-in benchmark circuits by name: the
+// embedded reference circuits ("c17", "paper", "redundant"), the parametric
+// families ("adder16", "parity8", "mux3", "cmp8", ...) or any profile
+// stand-in of the paper's suites ("c432" ... "c7552", "s641" ... "s38584"),
+// synthesized on demand.
+func Builtin(name string) (*Circuit, error) {
+	c, err := bench.Get(name)
+	if err != nil {
+		return nil, err
+	}
+	return &Circuit{c: c}, nil
+}
+
+// BuiltinNames lists every circuit name understood by [Builtin], with the
+// parametric families shown at a default size.
+func BuiltinNames() []string { return bench.Names() }
+
+// Profile describes a synthetic benchmark circuit: structural statistics
+// (inputs, outputs, gates, depth) that [Synthesize] turns into a concrete
+// netlist.  The built-in profiles mirror the ISCAS85/89 suites the paper
+// evaluates on.
+type Profile = bench.Profile
+
+// Profiles returns every built-in circuit profile (the ISCAS85- and
+// ISCAS89-class suites of the paper's tables).
+func Profiles() []Profile { return bench.Profiles() }
+
+// ProfileByName looks up a built-in profile by circuit name.
+func ProfileByName(name string) (Profile, bool) { return bench.ProfileByName(name) }
+
+// Synthesize materializes a profile (built-in or custom) as a circuit.
+func Synthesize(p Profile) (*Circuit, error) {
+	c, err := bench.Synthesize(p)
+	if err != nil {
+		return nil, err
+	}
+	return &Circuit{c: c}, nil
+}
+
+// Name returns the circuit's name.
+func (c *Circuit) Name() string { return c.c.Name }
+
+// String renders a one-line summary (name, inputs, outputs, gates, depth).
+func (c *Circuit) String() string { return c.c.String() }
+
+// Stats computes the structural statistics of the circuit.
+func (c *Circuit) Stats() CircuitStats { return c.c.Stats() }
+
+// NumInputs returns the number of primary inputs (including pseudo inputs
+// standing in for removed flip-flops); test vectors carry one value per
+// input, in [Circuit.InputNames] order.
+func (c *Circuit) NumInputs() int { return len(c.c.Inputs()) }
+
+// InputNames returns the primary input names in vector order.
+func (c *Circuit) InputNames() []string {
+	ins := c.c.Inputs()
+	names := make([]string, len(ins))
+	for i, in := range ins {
+		names[i] = c.c.NetName(in)
+	}
+	return names
+}
+
+// WriteBench writes the circuit in ISCAS .bench format.
+func (c *Circuit) WriteBench(w io.Writer) error { return circuit.WriteBench(w, c.c) }
+
+// PathCount returns the exact number of structural paths of the circuit.
+// Path counts grow exponentially with depth, hence the big.Int.
+func (c *Circuit) PathCount() *big.Int { return paths.CountPaths(c.c) }
+
+// FaultCount returns the exact number of path delay faults (two per
+// structural path, one rising and one falling).
+func (c *Circuit) FaultCount() *big.Int { return paths.CountFaults(c.c) }
+
+// NetPaths reports how many structural paths run through one net.
+type NetPaths struct {
+	Name  string
+	Paths *big.Int
+}
+
+// BusiestNets returns the n nets carrying the most structural paths, most
+// loaded first — the hot spots of path delay testing.  n <= 0 yields nil.
+func (c *Circuit) BusiestNets(n int) []NetPaths {
+	if n <= 0 {
+		return nil
+	}
+	through := paths.PathsThrough(c.c)
+	ids := make([]circuit.NetID, c.c.NumNets())
+	for i := range ids {
+		ids[i] = circuit.NetID(i)
+	}
+	sort.Slice(ids, func(i, j int) bool { return through[ids[i]].Cmp(through[ids[j]]) > 0 })
+	if n > len(ids) {
+		n = len(ids)
+	}
+	out := make([]NetPaths, n)
+	for i := 0; i < n; i++ {
+		out[i] = NetPaths{Name: c.c.NetName(ids[i]), Paths: through[ids[i]]}
+	}
+	return out
+}
+
+// Describe renders a fault with the circuit's net names, e.g.
+// "b - p - x (rising at b)".
+func (c *Circuit) Describe(f Fault) string { return f.Describe(c.c) }

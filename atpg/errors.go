@@ -1,0 +1,30 @@
+package atpg
+
+import (
+	"errors"
+
+	"repro/internal/circuit"
+)
+
+// Sentinel errors returned by the package.  Match them with errors.Is; they
+// are usually wrapped with additional context.
+var (
+	// ErrCanceled is returned by Engine.Run when the context is canceled or
+	// its deadline expires before every fault has settled.  The returned
+	// error also wraps the context cause, so errors.Is(err, context.Canceled)
+	// or errors.Is(err, context.DeadlineExceeded) work as expected.
+	ErrCanceled = errors.New("atpg: generation canceled")
+	// ErrNoFaults is returned by Engine.Run when the target fault list is
+	// empty.
+	ErrNoFaults = errors.New("atpg: no target faults")
+	// ErrBadWidth is returned by New when WithWordWidth is given a width
+	// outside 1..MaxWordWidth.
+	ErrBadWidth = errors.New("atpg: word width out of range")
+	// ErrNilCircuit is returned by New when the circuit is nil.
+	ErrNilCircuit = errors.New("atpg: nil circuit")
+)
+
+// ParseError is the error type produced by the .bench parser ([LoadBench],
+// [ParseBench]): it records the file and line of the problem and wraps the
+// underlying cause.  Retrieve it with errors.As.
+type ParseError = circuit.ParseError

@@ -1,0 +1,50 @@
+package atpg
+
+import "repro/internal/paths"
+
+// Fault is a path delay fault: a structural path from a primary input to a
+// primary output together with the transition launched at the path input.
+// Following Smith's model, every structural path carries two faults, one
+// rising and one falling.
+type Fault = paths.Fault
+
+// Transition is the direction of the signal change launched at the path
+// input.
+type Transition = paths.Transition
+
+// The two transition directions.
+const (
+	Rising  = paths.Rising
+	Falling = paths.Falling
+)
+
+// AllFaults enumerates the circuit's path delay faults in topological order,
+// up to limit (0 = no limit).  Beware: path counts explode on the larger
+// circuits, so an unlimited enumeration is only sensible on small ones;
+// use [SampleFaults] or [LongestPaths] otherwise.
+func AllFaults(c *Circuit, limit int) []Fault {
+	if c == nil || c.c == nil {
+		return nil
+	}
+	return paths.EnumerateFaults(c.c, limit)
+}
+
+// SampleFaults returns n faults drawn from uniformly sampled structural
+// paths, alternating rising and falling transitions.  The seed makes the
+// sample reproducible.
+func SampleFaults(c *Circuit, n int, seed int64) []Fault {
+	if c == nil || c.c == nil {
+		return nil
+	}
+	return paths.SampleFaults(c.c, n, seed)
+}
+
+// LongestPaths returns the faults of up to n structurally longest paths (by
+// net count), both transitions per path.  Long paths have the least timing
+// slack, making them the natural first targets for delay testing.
+func LongestPaths(c *Circuit, n int) []Fault {
+	if c == nil || c.c == nil {
+		return nil
+	}
+	return paths.Faults(paths.LongestPaths(c.c, n, 0), true)
+}

@@ -1,0 +1,129 @@
+package atpg
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/logic"
+	"repro/internal/sensitize"
+)
+
+// Mode selects the test class tests are generated for.
+type Mode = sensitize.Mode
+
+// The two test classes of the paper (Tables 3 and 4).
+const (
+	// Nonrobust tests only fix the final values of the off-path inputs.
+	Nonrobust = sensitize.Nonrobust
+	// Robust tests additionally keep off-path inputs stable where the
+	// on-path input changes towards the controlling value (Lin/Reddy).
+	Robust = sensitize.Robust
+)
+
+// ParseMode parses "robust" or "nonrobust".
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "robust":
+		return Robust, nil
+	case "nonrobust":
+		return Nonrobust, nil
+	}
+	return Nonrobust, fmt.Errorf("atpg: unknown mode %q (want robust or nonrobust)", s)
+}
+
+// MaxWordWidth is the largest word width L the generator exploits: the
+// machine word length, 64 bit levels.
+const MaxWordWidth = logic.WordWidth
+
+// Option configures an [Engine] at construction time.
+type Option func(*engineConfig) error
+
+// engineConfig accumulates the option values before they are validated and
+// frozen into core options by New.
+type engineConfig struct {
+	opts core.Options
+	// simInterval, when nil, tracks the word width (the paper simulates
+	// after every L generated patterns).
+	simInterval *int
+	progress    func(Result)
+}
+
+// WithMode selects robust or nonrobust test generation (default: robust).
+func WithMode(m Mode) Option {
+	return func(c *engineConfig) error {
+		if m != Robust && m != Nonrobust {
+			return fmt.Errorf("atpg: unknown mode %d", m)
+		}
+		c.opts.Mode = m
+		return nil
+	}
+}
+
+// WithWordWidth sets the number of bit levels L exploited by both forms of
+// bit parallelism (default: MaxWordWidth).  Width 1 is the single-bit
+// baseline of Tables 5 and 6.  Widths outside 1..MaxWordWidth make New fail
+// with ErrBadWidth.
+func WithWordWidth(w int) Option {
+	return func(c *engineConfig) error {
+		if w < 1 || w > MaxWordWidth {
+			return fmt.Errorf("%w: %d (want 1..%d)", ErrBadWidth, w, MaxWordWidth)
+		}
+		c.opts.WordWidth = w
+		return nil
+	}
+}
+
+// WithBacktrackLimit bounds the conventional backtracks APTPG spends per
+// fault before aborting it (default: 8).
+func WithBacktrackLimit(n int) Option {
+	return func(c *engineConfig) error {
+		if n < 1 {
+			return fmt.Errorf("atpg: backtrack limit must be at least 1, got %d", n)
+		}
+		c.opts.MaxBacktracks = n
+		return nil
+	}
+}
+
+// WithFaultParallel toggles FPTPG, the fault-parallel first phase (default:
+// on).  With both phases disabled every fault is aborted.
+func WithFaultParallel(on bool) Option {
+	return func(c *engineConfig) error {
+		c.opts.UseFPTPG = on
+		return nil
+	}
+}
+
+// WithAlternativeParallel toggles APTPG, the alternative-parallel second
+// phase that takes over the faults FPTPG would have to backtrack on
+// (default: on).
+func WithAlternativeParallel(on bool) Option {
+	return func(c *engineConfig) error {
+		c.opts.UseAPTPG = on
+		return nil
+	}
+}
+
+// WithInterleavedSim sets the interleaved fault-simulation interval: after
+// every interval generated patterns the pending faults are fault-simulated
+// and the detected ones dropped.  0 disables the simulation.  The default
+// follows the paper and simulates after every L patterns.
+func WithInterleavedSim(interval int) Option {
+	return func(c *engineConfig) error {
+		if interval < 0 {
+			return fmt.Errorf("atpg: negative fault-simulation interval %d", interval)
+		}
+		c.simInterval = &interval
+		return nil
+	}
+}
+
+// WithProgress registers a callback invoked once for every fault whose
+// classification becomes final, in settle order.  The callback runs on the
+// generating goroutine and must not call back into the engine.
+func WithProgress(fn func(Result)) Option {
+	return func(c *engineConfig) error {
+		c.progress = fn
+		return nil
+	}
+}

@@ -9,6 +9,7 @@
 package repro
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/bench"
@@ -121,7 +122,7 @@ func BenchmarkFigure1FPTPG(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		g := core.New(c, opts)
-		g.Run(faults)
+		g.Run(context.Background(), faults)
 	}
 }
 
@@ -138,7 +139,7 @@ func BenchmarkFigure2APTPG(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		g := core.New(c, opts)
-		g.Run([]paths.Fault{f})
+		g.Run(context.Background(), []paths.Fault{f})
 	}
 }
 
@@ -185,12 +186,12 @@ func BenchmarkAblationLogicWidth(b *testing.B) {
 	faults := paths.SampleFaults(c, 64, 3)
 	b.Run("robust", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			core.New(c, core.DefaultOptions(sensitize.Robust)).Run(faults)
+			core.New(c, core.DefaultOptions(sensitize.Robust)).Run(context.Background(), faults)
 		}
 	})
 	b.Run("nonrobust", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			core.New(c, core.DefaultOptions(sensitize.Nonrobust)).Run(faults)
+			core.New(c, core.DefaultOptions(sensitize.Nonrobust)).Run(context.Background(), faults)
 		}
 	})
 }
@@ -205,12 +206,12 @@ func BenchmarkSpeedupHeadline(b *testing.B) {
 	faults := paths.SampleFaults(c, 128, 5)
 	b.Run("bit-parallel", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			core.New(c, core.DefaultOptions(sensitize.Robust)).Run(faults)
+			core.New(c, core.DefaultOptions(sensitize.Robust)).Run(context.Background(), faults)
 		}
 	})
 	b.Run("single-bit", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			core.New(c, core.SingleBitOptions(sensitize.Robust)).Run(faults)
+			core.New(c, core.SingleBitOptions(sensitize.Robust)).Run(context.Background(), faults)
 		}
 	})
 }

@@ -9,8 +9,7 @@ import (
 	"fmt"
 	"os"
 
-	"repro/internal/bench"
-	"repro/internal/circuit"
+	"repro/atpg"
 )
 
 func main() {
@@ -27,25 +26,25 @@ func main() {
 	flag.Parse()
 
 	if *list {
-		for _, n := range bench.Names() {
+		for _, n := range atpg.BuiltinNames() {
 			fmt.Println(n)
 		}
 		return
 	}
 
 	var (
-		c   *circuit.Circuit
+		c   *atpg.Circuit
 		err error
 	)
 	switch {
 	case *name != "":
-		c, err = bench.Get(*name)
+		c, err = atpg.Builtin(*name)
 	case *gates > 0:
-		p := bench.Profile{
+		p := atpg.Profile{
 			Name: "custom", Inputs: *inputs, Outputs: *outputs, Gates: *gates, Depth: *depth, Seed: *seed,
 			InputFaninBias: 0.5, WideFaninFraction: 0.15, InverterFraction: 0.25,
 		}
-		c, err = bench.Synthesize(p)
+		c, err = atpg.Synthesize(p)
 	default:
 		err = fmt.Errorf("either -circuit or a custom -gates/-inputs/-outputs description is required")
 	}
@@ -64,7 +63,7 @@ func main() {
 		defer f.Close()
 		w = f
 	}
-	if err := circuit.WriteBench(w, c); err != nil {
+	if err := c.WriteBench(w); err != nil {
 		fmt.Fprintln(os.Stderr, "circgen:", err)
 		os.Exit(1)
 	}

@@ -8,11 +8,7 @@ import (
 	"fmt"
 	"os"
 
-	"repro/internal/bench"
-	"repro/internal/circuit"
-	"repro/internal/faultsim"
-	"repro/internal/paths"
-	"repro/internal/pattern"
+	"repro/atpg"
 )
 
 func main() {
@@ -25,40 +21,35 @@ func main() {
 	)
 	flag.Parse()
 
-	c, err := loadCircuit(*circuitName, *benchFile)
+	c, err := atpg.LoadCircuit(*circuitName, *benchFile)
 	if err != nil {
 		fail(err)
 	}
 	if *patternFile == "" {
 		fail(fmt.Errorf("-patterns is required"))
 	}
-	f, err := os.Open(*patternFile)
-	if err != nil {
-		fail(err)
-	}
-	set, err := pattern.Read(f)
-	f.Close()
+	set, err := atpg.LoadTests(*patternFile)
 	if err != nil {
 		fail(err)
 	}
 	if set.Len() == 0 {
 		fail(fmt.Errorf("test set %s is empty", *patternFile))
 	}
-	if got, want := set.Pairs[0].Len(), len(c.Inputs()); got != want {
+	if got, want := set.Pairs[0].Len(), c.NumInputs(); got != want {
 		fail(fmt.Errorf("test set has %d inputs per vector, circuit has %d", got, want))
 	}
 
-	var faults []paths.Fault
+	var faults []atpg.Fault
 	if *sample <= 0 {
-		faults = paths.EnumerateFaults(c, 0)
+		faults = atpg.AllFaults(c, 0)
 	} else {
-		faults = paths.SampleFaults(c, *sample, *seed)
+		faults = atpg.SampleFaults(c, *sample, *seed)
 	}
 
 	fmt.Printf("circuit: %s\n", c)
 	fmt.Printf("test pairs: %d, faults simulated: %d\n", set.Len(), len(faults))
 	for _, robust := range []bool{false, true} {
-		cov, err := faultsim.Coverage(c, set.Pairs, faults, robust)
+		cov, err := atpg.FaultCoverage(c, set.Pairs, faults, robust)
 		if err != nil {
 			fail(err)
 		}
@@ -67,24 +58,6 @@ func main() {
 			label = "robust"
 		}
 		fmt.Printf("%-10s coverage: %6.2f%%\n", label, cov*100)
-	}
-}
-
-func loadCircuit(name, file string) (*circuit.Circuit, error) {
-	switch {
-	case name != "" && file != "":
-		return nil, fmt.Errorf("use either -circuit or -bench, not both")
-	case name != "":
-		return bench.Get(name)
-	case file != "":
-		f, err := os.Open(file)
-		if err != nil {
-			return nil, err
-		}
-		defer f.Close()
-		return circuit.ParseBench(file, f)
-	default:
-		return nil, fmt.Errorf("one of -circuit or -bench is required")
 	}
 }
 

@@ -18,8 +18,7 @@ import (
 	"fmt"
 	"os"
 
-	"repro/internal/harness"
-	"repro/internal/sensitize"
+	"repro/atpg"
 )
 
 func main() {
@@ -35,10 +34,10 @@ func main() {
 	)
 	flag.Parse()
 
-	baseCfg := func(mode sensitize.Mode) harness.Config {
-		cfg := harness.DefaultConfig(mode)
+	baseCfg := func(mode atpg.Mode) atpg.ExperimentConfig {
+		cfg := atpg.DefaultExperimentConfig(mode)
 		if *quick {
-			cfg = harness.QuickConfig(mode)
+			cfg = atpg.QuickExperimentConfig(mode)
 		}
 		if *scale > 0 {
 			cfg.Scale = *scale
@@ -55,23 +54,23 @@ func main() {
 		ran = true
 		switch n {
 		case 3:
-			fmt.Print(harness.FormatATPGTable("Table 3: robust ATPG for the ISCAS85-class circuits",
-				harness.RunTable3(baseCfg(sensitize.Robust))))
+			fmt.Print(atpg.FormatATPGTable("Table 3: robust ATPG for the ISCAS85-class circuits",
+				atpg.RunTable3(baseCfg(atpg.Robust))))
 		case 4:
-			fmt.Print(harness.FormatATPGTable("Table 4: nonrobust ATPG for the ISCAS85-class circuits",
-				harness.RunTable4(baseCfg(sensitize.Nonrobust))))
+			fmt.Print(atpg.FormatATPGTable("Table 4: nonrobust ATPG for the ISCAS85-class circuits",
+				atpg.RunTable4(baseCfg(atpg.Nonrobust))))
 		case 5:
-			fmt.Print(harness.FormatSpeedupTable("Table 5: bit-parallel vs single-bit generation (robust)",
-				harness.RunTable5(baseCfg(sensitize.Robust))))
+			fmt.Print(atpg.FormatSpeedupTable("Table 5: bit-parallel vs single-bit generation (robust)",
+				atpg.RunTable5(baseCfg(atpg.Robust))))
 		case 6:
-			fmt.Print(harness.FormatSpeedupTable("Table 6: bit-parallel vs single-bit generation (nonrobust)",
-				harness.RunTable6(baseCfg(sensitize.Nonrobust))))
+			fmt.Print(atpg.FormatSpeedupTable("Table 6: bit-parallel vs single-bit generation (nonrobust)",
+				atpg.RunTable6(baseCfg(atpg.Nonrobust))))
 		case 7:
-			fmt.Print(harness.FormatCompareTable("Table 7: TIP vs structural baseline, nonrobust (L=32)",
-				harness.RunTable7(baseCfg(sensitize.Nonrobust))))
+			fmt.Print(atpg.FormatCompareTable("Table 7: TIP vs structural baseline, nonrobust (L=32)",
+				atpg.RunTable7(baseCfg(atpg.Nonrobust))))
 		case 8:
-			fmt.Print(harness.FormatCompareTable("Table 8: TIP vs structural baseline, robust (L=32)",
-				harness.RunTable8(baseCfg(sensitize.Robust))))
+			fmt.Print(atpg.FormatCompareTable("Table 8: TIP vs structural baseline, robust (L=32)",
+				atpg.RunTable8(baseCfg(atpg.Robust))))
 		default:
 			fmt.Fprintf(os.Stderr, "experiments: unknown table %d (want 3-8)\n", n)
 			os.Exit(1)
@@ -89,10 +88,10 @@ func main() {
 	}
 	if *summary {
 		ran = true
-		rows5 := harness.RunTable5(baseCfg(sensitize.Robust))
-		avg5, max5 := harness.SpeedupSummary(rows5)
-		rows6 := harness.RunTable6(baseCfg(sensitize.Nonrobust))
-		avg6, max6 := harness.SpeedupSummary(rows6)
+		rows5 := atpg.RunTable5(baseCfg(atpg.Robust))
+		avg5, max5 := atpg.SpeedupSummary(rows5)
+		rows6 := atpg.RunTable6(baseCfg(atpg.Nonrobust))
+		avg6, max6 := atpg.SpeedupSummary(rows6)
 		fmt.Println("Speed-up summary (paper: average about five, maximum up to nine):")
 		fmt.Printf("  robust    (Table 5): average %.1fx, maximum %.1fx\n", avg5, max5)
 		fmt.Printf("  nonrobust (Table 6): average %.1fx, maximum %.1fx\n", avg6, max6)
@@ -100,16 +99,16 @@ func main() {
 	}
 	if *ablations {
 		ran = true
-		cfg := baseCfg(sensitize.Nonrobust)
-		fmt.Print(harness.FormatAblationTable("Ablation: word width L", harness.RunWordWidthAblation(cfg, nil)))
+		cfg := baseCfg(atpg.Nonrobust)
+		fmt.Print(atpg.FormatAblationTable("Ablation: word width L", atpg.RunWordWidthAblation(cfg, nil)))
 		fmt.Println()
-		fmt.Print(harness.FormatAblationTable("Ablation: FPTPG / APTPG / combined", harness.RunModeAblation(cfg)))
+		fmt.Print(atpg.FormatAblationTable("Ablation: FPTPG / APTPG / combined", atpg.RunModeAblation(cfg)))
 		fmt.Println()
-		fmt.Print(harness.FormatAblationTable("Ablation: interleaved fault simulation", harness.RunFaultSimAblation(cfg)))
+		fmt.Print(atpg.FormatAblationTable("Ablation: interleaved fault simulation", atpg.RunFaultSimAblation(cfg)))
 		fmt.Println()
-		fmt.Print(harness.FormatAblationTable("Ablation: subpath redundancy pruning", harness.RunPruningAblation(cfg)))
+		fmt.Print(atpg.FormatAblationTable("Ablation: subpath redundancy pruning", atpg.RunPruningAblation(cfg)))
 		fmt.Println()
-		est := harness.RunCoverageEstimate(cfg, "s713", 500)
+		est := atpg.RunCoverageEstimate(cfg, "s713", 500)
 		if est.Err != nil {
 			fmt.Fprintf(os.Stderr, "coverage estimate: %v\n", est.Err)
 		} else {

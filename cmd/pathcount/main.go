@@ -8,11 +8,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"sort"
 
-	"repro/internal/bench"
-	"repro/internal/circuit"
-	"repro/internal/paths"
+	"repro/atpg"
 )
 
 func main() {
@@ -26,20 +23,20 @@ func main() {
 
 	if *all {
 		fmt.Printf("%-10s %8s %8s %8s %8s %18s\n", "circuit", "inputs", "outputs", "gates", "depth", "path delay faults")
-		for _, p := range bench.Profiles() {
-			c, err := bench.Synthesize(p)
+		for _, p := range atpg.Profiles() {
+			c, err := atpg.Synthesize(p)
 			if err != nil {
 				fmt.Printf("%-10s error: %v\n", p.Name, err)
 				continue
 			}
 			st := c.Stats()
 			fmt.Printf("%-10s %8d %8d %8d %8d %18s\n",
-				p.Name, st.Inputs, st.Outputs, st.Gates, st.MaxLevel, paths.CountFaults(c).String())
+				p.Name, st.Inputs, st.Outputs, st.Gates, st.MaxLevel, c.FaultCount().String())
 		}
 		return
 	}
 
-	c, err := loadCircuit(*circuitName, *benchFile)
+	c, err := atpg.LoadCircuit(*circuitName, *benchFile)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pathcount:", err)
 		os.Exit(1)
@@ -51,37 +48,13 @@ func main() {
 		fmt.Printf(" %s=%d", kind, n)
 	}
 	fmt.Println()
-	fmt.Printf("structural paths:  %s\n", paths.CountPaths(c).String())
-	fmt.Printf("path delay faults: %s\n", paths.CountFaults(c).String())
+	fmt.Printf("structural paths:  %s\n", c.PathCount().String())
+	fmt.Printf("path delay faults: %s\n", c.FaultCount().String())
 
 	if *top > 0 {
-		through := paths.PathsThrough(c)
-		ids := make([]circuit.NetID, 0, c.NumNets())
-		for i := 0; i < c.NumNets(); i++ {
-			ids = append(ids, circuit.NetID(i))
-		}
-		sort.Slice(ids, func(i, j int) bool { return through[ids[i]].Cmp(through[ids[j]]) > 0 })
 		fmt.Printf("nets carrying the most paths:\n")
-		for i := 0; i < *top && i < len(ids); i++ {
-			fmt.Printf("  %-12s %s paths\n", c.NetName(ids[i]), through[ids[i]].String())
+		for _, np := range c.BusiestNets(*top) {
+			fmt.Printf("  %-12s %s paths\n", np.Name, np.Paths.String())
 		}
-	}
-}
-
-func loadCircuit(name, file string) (*circuit.Circuit, error) {
-	switch {
-	case name != "" && file != "":
-		return nil, fmt.Errorf("use either -circuit or -bench, not both")
-	case name != "":
-		return bench.Get(name)
-	case file != "":
-		f, err := os.Open(file)
-		if err != nil {
-			return nil, err
-		}
-		defer f.Close()
-		return circuit.ParseBench(file, f)
-	default:
-		return nil, fmt.Errorf("one of -circuit or -bench is required")
 	}
 }

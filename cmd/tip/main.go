@@ -10,16 +10,13 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 
-	"repro/internal/bench"
-	"repro/internal/circuit"
-	"repro/internal/core"
-	"repro/internal/logic"
-	"repro/internal/paths"
-	"repro/internal/sensitize"
+	"repro/atpg"
 )
 
 func main() {
@@ -29,7 +26,7 @@ func main() {
 		mode        = flag.String("mode", "robust", "test class: robust or nonrobust")
 		numFaults   = flag.Int("faults", 256, "number of target faults (0 = all structural faults; beware of path explosion)")
 		seed        = flag.Int64("seed", 1995, "seed for fault sampling")
-		width       = flag.Int("width", logic.WordWidth, "word width L (1..64); 1 is the single-bit baseline")
+		width       = flag.Int("width", atpg.MaxWordWidth, "word width L (1..64); 1 is the single-bit baseline")
 		backtracks  = flag.Int("backtracks", 64, "backtrack limit per fault")
 		noFPTPG     = flag.Bool("no-fptpg", false, "disable fault-parallel generation")
 		noAPTPG     = flag.Bool("no-aptpg", false, "disable alternative-parallel generation")
@@ -38,47 +35,53 @@ func main() {
 	)
 	flag.Parse()
 
-	c, err := loadCircuit(*circuitName, *benchFile)
+	c, err := atpg.LoadCircuit(*circuitName, *benchFile)
 	if err != nil {
 		fail(err)
 	}
-	m := sensitize.Robust
-	switch *mode {
-	case "robust":
-	case "nonrobust":
-		m = sensitize.Nonrobust
-	default:
-		fail(fmt.Errorf("unknown mode %q (want robust or nonrobust)", *mode))
+	m, err := atpg.ParseMode(*mode)
+	if err != nil {
+		fail(err)
 	}
 
 	fmt.Printf("circuit: %s\n", c)
 	fmt.Printf("structural paths: %s, path delay faults: %s\n",
-		paths.CountPaths(c).String(), paths.CountFaults(c).String())
+		c.PathCount().String(), c.FaultCount().String())
 
-	var faults []paths.Fault
+	var faults []atpg.Fault
 	if *numFaults <= 0 {
-		faults = paths.EnumerateFaults(c, 0)
+		faults = atpg.AllFaults(c, 0)
 	} else {
-		faults = paths.SampleFaults(c, *numFaults, *seed)
+		faults = atpg.SampleFaults(c, *numFaults, *seed)
 	}
 	fmt.Printf("target faults: %d (%s)\n", len(faults), m)
 
-	opts := core.DefaultOptions(m)
-	opts.WordWidth = *width
-	opts.FaultSimInterval = *width
-	opts.MaxBacktracks = *backtracks
-	opts.UseFPTPG = !*noFPTPG
-	opts.UseAPTPG = !*noAPTPG
+	e, err := atpg.New(c,
+		atpg.WithMode(m),
+		atpg.WithWordWidth(*width),
+		atpg.WithBacktrackLimit(*backtracks),
+		atpg.WithFaultParallel(!*noFPTPG),
+		atpg.WithAlternativeParallel(!*noAPTPG),
+	)
+	if errors.Is(err, atpg.ErrBadWidth) {
+		fail(fmt.Errorf("invalid -width %d: the word width must be between 1 and %d bit levels (%v)",
+			*width, atpg.MaxWordWidth, err))
+	}
+	if err != nil {
+		fail(err)
+	}
 
-	g := core.New(c, opts)
-	results := g.Run(faults)
+	results, err := e.Run(context.Background(), faults)
+	if err != nil {
+		fail(err)
+	}
 
 	if *verbose {
 		for _, r := range results {
-			fmt.Printf("  %-60s %-12s %s\n", r.Fault.Describe(c), r.Status, r.Phase)
+			fmt.Printf("  %-60s %-12s %s\n", c.Describe(r.Fault), r.Status, r.Phase)
 		}
 	}
-	st := g.Stats()
+	st := e.Stats()
 	fmt.Printf("result: %s\n", st)
 	fmt.Printf("sensitization time: %s, generation time: %s\n", st.SensitizeTime, st.GenerateTime)
 
@@ -88,28 +91,10 @@ func main() {
 			fail(err)
 		}
 		defer f.Close()
-		if err := g.TestSet().Write(f); err != nil {
+		if err := e.Tests().Write(f); err != nil {
 			fail(err)
 		}
-		fmt.Printf("wrote %d test pairs to %s\n", g.TestSet().Len(), *out)
-	}
-}
-
-func loadCircuit(name, file string) (*circuit.Circuit, error) {
-	switch {
-	case name != "" && file != "":
-		return nil, fmt.Errorf("use either -circuit or -bench, not both")
-	case name != "":
-		return bench.Get(name)
-	case file != "":
-		f, err := os.Open(file)
-		if err != nil {
-			return nil, err
-		}
-		defer f.Close()
-		return circuit.ParseBench(file, f)
-	default:
-		return nil, fmt.Errorf("one of -circuit or -bench is required")
+		fmt.Printf("wrote %d test pairs to %s\n", e.Tests().Len(), *out)
 	}
 }
 

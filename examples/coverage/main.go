@@ -10,37 +10,40 @@
 package main
 
 import (
+	"context"
 	"fmt"
 
-	"repro/internal/bench"
-	"repro/internal/core"
-	"repro/internal/faultsim"
-	"repro/internal/paths"
-	"repro/internal/pattern"
-	"repro/internal/sensitize"
+	"repro/atpg"
 )
 
 func main() {
-	profile, _ := bench.ProfileByName("s1423")
-	c := bench.MustSynthesize(profile)
+	profile, _ := atpg.ProfileByName("s1423")
+	c, err := atpg.Synthesize(profile)
+	if err != nil {
+		panic(err)
+	}
 	fmt.Println("circuit:", c)
 	fmt.Println("pseudo primary inputs stand in for the removed flip-flops; only the")
 	fmt.Println("combinational part is tested, exactly as in the paper.")
-	fmt.Println("path delay faults:", paths.CountFaults(c).String())
+	fmt.Println("path delay faults:", c.FaultCount().String())
 	fmt.Println()
 
 	// Generate nonrobust tests for a sample of 768 faults.
-	faults := paths.SampleFaults(c, 768, 11)
-	gen := core.New(c, core.DefaultOptions(sensitize.Nonrobust))
-	gen.Run(faults)
-	st := gen.Stats()
-	fmt.Printf("generation: %s\n", st)
+	faults := atpg.SampleFaults(c, 768, 11)
+	e, err := atpg.New(c, atpg.WithMode(atpg.Nonrobust))
+	if err != nil {
+		panic(err)
+	}
+	if _, err := e.Run(context.Background(), faults); err != nil {
+		panic(err)
+	}
+	fmt.Printf("generation: %s\n", e.Stats())
 
 	// Estimate the coverage of the generated test set over independent fault
 	// samples of growing size: the estimate stabilises as the sample grows.
-	set := gen.TestSet()
+	set := e.Tests()
 	for _, sample := range []int{200, 1000, 4000} {
-		cov, n, err := faultsim.EstimateCoverage(c, set.Pairs, sample, int64(sample), false)
+		cov, n, err := atpg.EstimateFaultCoverage(c, set.Pairs, sample, int64(sample), false)
 		if err != nil {
 			panic(err)
 		}
@@ -49,10 +52,10 @@ func main() {
 
 	// The same simulator also answers "which of my patterns does the work":
 	// count how many sampled faults each of the first few patterns detects.
-	sample := paths.SampleFaults(c, 1000, 99)
+	sample := atpg.SampleFaults(c, 1000, 99)
 	perPattern := make([]int, set.Len())
 	for i := range set.Pairs {
-		res, err := faultsim.Run(c, []pattern.Pair{set.Pairs[i]}, sample, false)
+		res, err := atpg.Simulate(c, set.Pairs[i:i+1], sample, false)
 		if err != nil {
 			panic(err)
 		}

@@ -1,5 +1,6 @@
 // Quickstart: generate robust path delay fault tests for the ISCAS85 c17
-// benchmark and print every fault, its classification and its test pattern.
+// benchmark and print every fault, its classification and its test pattern,
+// consuming the results as a stream while the generator works.
 //
 // Run with:
 //
@@ -7,41 +8,47 @@
 package main
 
 import (
+	"context"
 	"fmt"
 
-	"repro/internal/bench"
-	"repro/internal/core"
-	"repro/internal/paths"
-	"repro/internal/sensitize"
+	"repro/atpg"
 )
 
 func main() {
-	// 1. Pick a circuit.  bench.Get also understands "c432", "adder16", a
-	//    parsed .bench file can be used instead (circuit.ParseBench).
-	c := bench.C17()
+	// 1. Pick a circuit.  atpg.Builtin also understands "c432", "adder16",
+	//    ...; a .bench file on disk is loaded with atpg.LoadBench.
+	c, err := atpg.Builtin("c17")
+	if err != nil {
+		panic(err)
+	}
 	fmt.Println("circuit:", c)
 
 	// 2. Enumerate the target faults.  c17 is tiny, so all 22 path delay
 	//    faults (11 paths x 2 transitions) are targeted.
-	faults := paths.EnumerateFaults(c, 0)
+	faults := atpg.AllFaults(c, 0)
 	fmt.Printf("targeting %d path delay faults (%s structural paths)\n\n",
-		len(faults), paths.CountPaths(c).String())
+		len(faults), c.PathCount().String())
 
-	// 3. Run the bit-parallel generator with the default robust options:
-	//    FPTPG first, APTPG for the hard faults, fault simulation after
-	//    every 64 generated patterns.
-	gen := core.New(c, core.DefaultOptions(sensitize.Robust))
-	results := gen.Run(faults)
+	// 3. Build the engine with the default robust options: FPTPG first,
+	//    APTPG for the hard faults, fault simulation after every 64
+	//    generated patterns.
+	e, err := atpg.New(c, atpg.WithMode(atpg.Robust))
+	if err != nil {
+		panic(err)
+	}
 
-	// 4. Inspect the per-fault results and the generated test set.
-	for _, r := range results {
-		line := fmt.Sprintf("%-32s %-24s", r.Fault.Describe(c), fmt.Sprintf("%s (%s)", r.Status, r.Phase))
-		if r.Status == core.Tested {
+	// 4. Stream the per-fault results: each fault is printed the moment its
+	//    classification is final.  (Engine.Run returns them as one slice in
+	//    input order instead; breaking out of this loop would cancel the
+	//    rest of the generation.)
+	for r := range e.Stream(context.Background(), faults) {
+		line := fmt.Sprintf("%-32s %-24s", c.Describe(r.Fault), fmt.Sprintf("%s (%s)", r.Status, r.Phase))
+		if r.Status == atpg.Tested {
 			line += "  test: " + r.Test.String()
 		}
 		fmt.Println(line)
 	}
 	fmt.Println()
-	fmt.Println("summary:", gen.Stats().String())
-	fmt.Printf("test set (%d pairs):\n%s", gen.TestSet().Len(), gen.TestSet().String())
+	fmt.Println("summary:", e.Stats().String())
+	fmt.Printf("test set (%d pairs):\n%s", e.Tests().Len(), e.Tests().String())
 }

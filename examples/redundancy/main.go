@@ -10,33 +10,40 @@
 package main
 
 import (
+	"context"
 	"fmt"
 
-	"repro/internal/bench"
-	"repro/internal/core"
-	"repro/internal/paths"
-	"repro/internal/sensitize"
+	"repro/atpg"
 )
 
 func main() {
-	c := bench.RedundantExample()
+	c, err := atpg.Builtin("redundant")
+	if err != nil {
+		panic(err)
+	}
 	fmt.Println("circuit:", c)
 	fmt.Println(`gate g2 computes a AND (NOT a) AND b, so no transition can ever pass through it
 robustly: every path through g2 is a robustly redundant path delay fault.`)
 	fmt.Println()
 
-	faults := paths.EnumerateFaults(c, 0)
-	opts := core.DefaultOptions(sensitize.Robust)
-	gen := core.New(c, opts)
-	results := gen.Run(faults)
+	faults := atpg.AllFaults(c, 0)
+	e, err := atpg.New(c, atpg.WithMode(atpg.Robust))
+	if err != nil {
+		panic(err)
+	}
+	results, err := e.Run(context.Background(), faults)
+	if err != nil {
+		panic(err)
+	}
 
 	for _, r := range results {
-		fmt.Printf("%-36s %-10s settled by %s\n", r.Fault.Describe(c), r.Status, r.Phase)
+		fmt.Printf("%-36s %-10s settled by %s\n", c.Describe(r.Fault), r.Status, r.Phase)
 	}
-	st := gen.Stats()
+	st := e.Stats()
+	cov := e.Coverage()
 	fmt.Println()
 	fmt.Printf("redundant faults: %d (of which %d identified by subpath pruning alone)\n",
-		st.Redundant, st.PrunedRedundant)
-	fmt.Printf("tested faults:    %d\n", st.Tested+st.DetectedBySim)
-	fmt.Printf("aborted faults:   %d (efficiency %.2f%%)\n", st.Aborted, st.Efficiency())
+		cov.Redundant, st.PrunedRedundant)
+	fmt.Printf("tested faults:    %d\n", cov.Detected)
+	fmt.Printf("aborted faults:   %d (efficiency %.2f%%)\n", cov.Aborted, cov.Efficiency())
 }

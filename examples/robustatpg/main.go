@@ -9,36 +9,47 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"time"
 
-	"repro/internal/bench"
-	"repro/internal/core"
-	"repro/internal/faultsim"
-	"repro/internal/paths"
-	"repro/internal/sensitize"
+	"repro/atpg"
 )
 
 func main() {
-	profile, _ := bench.ProfileByName("c880")
-	c := bench.MustSynthesize(profile)
+	profile, _ := atpg.ProfileByName("c880")
+	c, err := atpg.Synthesize(profile)
+	if err != nil {
+		panic(err)
+	}
 	fmt.Println("circuit:", c)
-	fmt.Println("path delay faults:", paths.CountFaults(c).String())
+	fmt.Println("path delay faults:", c.FaultCount().String())
 
 	// Target a uniform sample of 512 faults; the full fault list of the
 	// ISCAS circuits is in the millions.
-	faults := paths.SampleFaults(c, 512, 42)
+	faults := atpg.SampleFaults(c, 512, 42)
+	ctx := context.Background()
 
 	// Bit-parallel robust generation (L = 64).
+	parallel, err := atpg.New(c, atpg.WithMode(atpg.Robust))
+	if err != nil {
+		panic(err)
+	}
 	start := time.Now()
-	parallel := core.New(c, core.DefaultOptions(sensitize.Robust))
-	parallel.Run(faults)
+	if _, err := parallel.Run(ctx, faults); err != nil {
+		panic(err)
+	}
 	tParallel := time.Since(start)
 
 	// The same algorithm restricted to one bit level: the paper's baseline.
+	single, err := atpg.New(c, atpg.WithMode(atpg.Robust), atpg.WithWordWidth(1))
+	if err != nil {
+		panic(err)
+	}
 	start = time.Now()
-	single := core.New(c, core.SingleBitOptions(sensitize.Robust))
-	single.Run(faults)
+	if _, err := single.Run(ctx, faults); err != nil {
+		panic(err)
+	}
 	tSingle := time.Since(start)
 
 	fmt.Printf("\nbit-parallel: %s   (%s)\n", parallel.Stats(), tParallel.Round(time.Millisecond))
@@ -49,10 +60,10 @@ func main() {
 
 	// Fault-simulate the generated test set over an independent fault sample
 	// to estimate its overall robust coverage.
-	cov, n, err := faultsim.EstimateCoverage(c, parallel.TestSet().Pairs, 2000, 7, true)
+	cov, n, err := atpg.EstimateFaultCoverage(c, parallel.Tests().Pairs, 2000, 7, true)
 	if err != nil {
 		panic(err)
 	}
 	fmt.Printf("\nestimated robust coverage of the %d generated pairs over %d sampled faults: %.1f%%\n",
-		parallel.TestSet().Len(), n, cov*100)
+		parallel.Tests().Len(), n, cov*100)
 }

@@ -10,6 +10,36 @@ import (
 	"repro/internal/logic"
 )
 
+// ParseError is the error type returned by ParseBench for malformed input:
+// it records the file (or source name) and, when known, the line the problem
+// was found on, and wraps the underlying cause so callers can match it with
+// errors.As / errors.Is.
+type ParseError struct {
+	// File is the name passed to ParseBench (a path for file input).
+	File string
+	// Line is the 1-based source line of the problem; 0 when the error is
+	// not tied to a single line (e.g. an undriven net).
+	Line int
+	// Err is the underlying cause.
+	Err error
+}
+
+// Error renders the classical file:line: message form.
+func (e *ParseError) Error() string {
+	if e.Line > 0 {
+		return fmt.Sprintf("%s:%d: %v", e.File, e.Line, e.Err)
+	}
+	return fmt.Sprintf("%s: %v", e.File, e.Err)
+}
+
+// Unwrap returns the underlying cause.
+func (e *ParseError) Unwrap() error { return e.Err }
+
+// parseErrf wraps a formatted message in a ParseError.
+func parseErrf(file string, line int, format string, args ...any) error {
+	return &ParseError{File: file, Line: line, Err: fmt.Errorf(format, args...)}
+}
+
 // ParseBench reads a circuit in the ISCAS .bench format:
 //
 //	# comment
@@ -51,34 +81,34 @@ func ParseBench(name string, r io.Reader) (*Circuit, error) {
 		case hasPrefixFold(line, "INPUT"):
 			arg, err := parseParenArg(line, "INPUT")
 			if err != nil {
-				return nil, fmt.Errorf("%s:%d: %v", name, lineNo, err)
+				return nil, &ParseError{File: name, Line: lineNo, Err: err}
 			}
 			inputs = append(inputs, arg)
 		case hasPrefixFold(line, "OUTPUT"):
 			arg, err := parseParenArg(line, "OUTPUT")
 			if err != nil {
-				return nil, fmt.Errorf("%s:%d: %v", name, lineNo, err)
+				return nil, &ParseError{File: name, Line: lineNo, Err: err}
 			}
 			outputs = append(outputs, arg)
 		default:
 			eq := strings.Index(line, "=")
 			if eq < 0 {
-				return nil, fmt.Errorf("%s:%d: expected assignment, got %q", name, lineNo, line)
+				return nil, parseErrf(name, lineNo, "expected assignment, got %q", line)
 			}
 			out := strings.TrimSpace(line[:eq])
 			rhs := strings.TrimSpace(line[eq+1:])
 			open := strings.Index(rhs, "(")
 			close := strings.LastIndex(rhs, ")")
 			if open < 0 || close < open {
-				return nil, fmt.Errorf("%s:%d: malformed gate expression %q", name, lineNo, rhs)
+				return nil, parseErrf(name, lineNo, "malformed gate expression %q", rhs)
 			}
 			kind := strings.TrimSpace(rhs[:open])
 			args := splitArgs(rhs[open+1 : close])
 			if out == "" {
-				return nil, fmt.Errorf("%s:%d: gate with empty output name", name, lineNo)
+				return nil, parseErrf(name, lineNo, "gate with empty output name")
 			}
 			if seenOuts[out] {
-				return nil, fmt.Errorf("%s:%d: net %q driven twice", name, lineNo, out)
+				return nil, parseErrf(name, lineNo, "net %q driven twice", out)
 			}
 			seenOuts[out] = true
 			raws = append(raws, rawGate{
@@ -91,7 +121,7 @@ func ParseBench(name string, r io.Reader) (*Circuit, error) {
 		}
 	}
 	if err := scanner.Err(); err != nil {
-		return nil, fmt.Errorf("%s: %v", name, err)
+		return nil, &ParseError{File: name, Err: err}
 	}
 
 	b := NewBuilder(name)
@@ -103,7 +133,7 @@ func ParseBench(name string, r io.Reader) (*Circuit, error) {
 	for _, rg := range raws {
 		if rg.isDFF {
 			if len(rg.fanin) != 1 {
-				return nil, fmt.Errorf("%s:%d: DFF %q must have exactly one input", name, rg.lineNo, rg.out)
+				return nil, parseErrf(name, rg.lineNo, "DFF %q must have exactly one input", rg.out)
 			}
 			b.PseudoInput(rg.out)
 			dffInputs[rg.out] = rg.fanin[0]
@@ -136,7 +166,7 @@ func ParseBench(name string, r io.Reader) (*Circuit, error) {
 			progressed = true
 			kind, err := parseBenchKind(rg.kind, len(rg.fanin))
 			if err != nil {
-				return nil, fmt.Errorf("%s:%d: %v", name, rg.lineNo, err)
+				return nil, &ParseError{File: name, Line: rg.lineNo, Err: err}
 			}
 			fanin := make([]NetID, len(rg.fanin))
 			for i, f := range rg.fanin {
@@ -144,7 +174,7 @@ func ParseBench(name string, r io.Reader) (*Circuit, error) {
 			}
 			b.Gate(rg.out, kind, fanin...)
 			if b.Err() != nil {
-				return nil, fmt.Errorf("%s:%d: %v", name, rg.lineNo, b.Err())
+				return nil, &ParseError{File: name, Line: rg.lineNo, Err: b.Err()}
 			}
 		}
 		if !progressed {
@@ -161,7 +191,7 @@ func ParseBench(name string, r io.Reader) (*Circuit, error) {
 				names = append(names, n)
 			}
 			sort.Strings(names)
-			return nil, fmt.Errorf("%s: undriven or cyclic nets: %s", name, strings.Join(names, ", "))
+			return nil, parseErrf(name, 0, "undriven or cyclic nets: %s", strings.Join(names, ", "))
 		}
 		pendingGates = remaining
 	}
@@ -170,7 +200,7 @@ func ParseBench(name string, r io.Reader) (*Circuit, error) {
 	for _, out := range outputs {
 		id, ok := b.byName[out]
 		if !ok {
-			return nil, fmt.Errorf("%s: OUTPUT(%s) references an undriven net", name, out)
+			return nil, parseErrf(name, 0, "OUTPUT(%s) references an undriven net", out)
 		}
 		b.Output(id)
 	}
@@ -183,7 +213,7 @@ func ParseBench(name string, r io.Reader) (*Circuit, error) {
 		d := dffInputs[q]
 		id, ok := b.byName[d]
 		if !ok {
-			return nil, fmt.Errorf("%s: DFF %q data input %q is undriven", name, q, d)
+			return nil, parseErrf(name, 0, "DFF %q data input %q is undriven", q, d)
 		}
 		b.PseudoOutput(id)
 	}

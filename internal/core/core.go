@@ -217,6 +217,10 @@ type FaultResult struct {
 	// Decisions and Backtracks count the search effort spent on the fault.
 	Decisions  int
 	Backtracks int
+	// Err records why an Aborted fault was given up before its search limits
+	// were exhausted (typically the context cancellation cause); it is nil
+	// for faults that ran to a regular classification.
+	Err error
 }
 
 // Stats aggregates a generator run.

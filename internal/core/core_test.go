@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/bench"
@@ -20,7 +21,7 @@ func runAll(t *testing.T, c *circuit.Circuit, opts Options) (*Generator, []Fault
 	t.Helper()
 	faults := paths.EnumerateFaults(c, 0)
 	g := New(c, opts)
-	results := g.Run(faults)
+	results := g.Run(context.Background(), faults)
 	if len(results) != len(faults) {
 		t.Fatalf("%s: %d results for %d faults", c.Name, len(results), len(faults))
 	}
@@ -235,7 +236,7 @@ func TestFigure1FPTPG(t *testing.T) {
 		}
 	}
 	g := New(c, DefaultOptions(sensitize.Nonrobust))
-	results := g.Run(faults)
+	results := g.Run(context.Background(), faults)
 	for _, r := range results {
 		if r.Status != Tested && r.Status != Redundant && r.Status != DetectedBySim {
 			t.Errorf("fault %s ended as %v; FPTPG/APTPG should settle every figure-1 fault",
@@ -265,7 +266,7 @@ func TestFigure2APTPG(t *testing.T) {
 	opts := DefaultOptions(sensitize.Nonrobust)
 	opts.UseFPTPG = false
 	g := New(c, opts)
-	results := g.Run([]paths.Fault{f})
+	results := g.Run(context.Background(), []paths.Fault{f})
 	if !results[0].Status.Detected() {
 		t.Fatalf("path a-p-x (falling) should be testable, got %v", results[0].Status)
 	}
@@ -290,7 +291,7 @@ func TestPhaseAblations(t *testing.T) {
 	_, rBoth := runAll(t, c, both)
 	_, rA := runAll(t, c, aptpgOnly)
 	gF := New(c, fptpgOnly)
-	rF := gF.Run(paths.EnumerateFaults(c, 0))
+	rF := gF.Run(context.Background(), paths.EnumerateFaults(c, 0))
 
 	if detectedCount(rBoth) < detectedCount(rA) {
 		t.Error("combined configuration should not detect fewer faults than APTPG-only")
@@ -316,7 +317,7 @@ func TestPhaseAblations(t *testing.T) {
 	neither.UseFPTPG = false
 	neither.UseAPTPG = false
 	gN := New(c, neither)
-	rN := gN.Run(paths.EnumerateFaults(c, 4))
+	rN := gN.Run(context.Background(), paths.EnumerateFaults(c, 4))
 	for _, r := range rN {
 		if r.Status != Aborted {
 			t.Errorf("with both phases disabled every fault should abort, got %v", r.Status)
@@ -357,7 +358,7 @@ func TestSubpathPruning(t *testing.T) {
 	c := bench.RedundantExample()
 	opts := DefaultOptions(sensitize.Nonrobust)
 	g := New(c, opts)
-	results := g.Run(paths.EnumerateFaults(c, 0))
+	results := g.Run(context.Background(), paths.EnumerateFaults(c, 0))
 	pruned := 0
 	for _, r := range results {
 		if r.Phase == PhasePruning {
@@ -373,7 +374,7 @@ func TestSubpathPruning(t *testing.T) {
 	// Pruning must not change the classification: compare with pruning off.
 	opts.SubpathPruning = false
 	g2 := New(c, opts)
-	results2 := g2.Run(paths.EnumerateFaults(c, 0))
+	results2 := g2.Run(context.Background(), paths.EnumerateFaults(c, 0))
 	for i := range results {
 		if (results[i].Status == Redundant) != (results2[i].Status == Redundant) {
 			t.Errorf("pruning changed the classification of %s", results[i].Fault.Describe(c))
@@ -405,7 +406,7 @@ func TestFaultSimulationDrop(t *testing.T) {
 	opts := SingleBitOptions(sensitize.Robust)
 	opts.FaultSimInterval = 1
 	g := New(c, opts)
-	results := g.Run(faults)
+	results := g.Run(context.Background(), faults)
 	if !results[0].Status.Detected() || !results[1].Status.Detected() {
 		t.Fatalf("both faults should be detected: %v, %v", results[0].Status, results[1].Status)
 	}
@@ -420,7 +421,7 @@ func TestFaultSimulationDrop(t *testing.T) {
 	// may then be attributed to simulation.
 	opts.FaultSimInterval = 0
 	g2 := New(c, opts)
-	results2 := g2.Run(faults)
+	results2 := g2.Run(context.Background(), faults)
 	if detectedCount(results2) < detectedCount(results) {
 		t.Errorf("coverage without fault simulation (%d) below coverage with it (%d)",
 			detectedCount(results2), detectedCount(results))
@@ -480,7 +481,7 @@ func TestSyntheticCircuitATPG(t *testing.T) {
 	faults := paths.SampleFaults(c, 200, 9)
 	for _, mode := range []sensitize.Mode{sensitize.Nonrobust, sensitize.Robust} {
 		g := New(c, DefaultOptions(mode))
-		results := g.Run(faults)
+		results := g.Run(context.Background(), faults)
 		st := g.Stats()
 		if st.Faults != len(faults) {
 			t.Fatalf("stats faults %d != %d", st.Faults, len(faults))

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/bits"
 	"time"
 
@@ -28,6 +29,12 @@ type Generator struct {
 
 	testSet *pattern.Set
 	stats   Stats
+
+	// OnSettle, when non-nil, is invoked once for every fault whose
+	// classification becomes final, in the order the faults settle (which is
+	// generally not the order they were passed in).  It must be set before
+	// Run and must not call back into the generator.
+	OnSettle func(FaultResult)
 
 	// redundantPrefixes maps a subpath key (path prefix + launch transition)
 	// proved unsensitizable to true; faults containing such a prefix are
@@ -81,8 +88,15 @@ func (g *Generator) TestSet() *pattern.Set { return g.testSet }
 func (g *Generator) Stats() Stats { return g.stats }
 
 // Run generates tests for the given target faults and returns one result per
-// fault, in the same order.
-func (g *Generator) Run(faults []paths.Fault) []FaultResult {
+// fault, in the same order.  The context bounds the run: when it is canceled
+// or its deadline expires, generation stops at the next check point and every
+// fault that has not settled yet is returned as Aborted with the cancellation
+// cause in its Err field.  Callers that need to distinguish a canceled run
+// from a completed one inspect ctx.Err (or context.Cause) after Run returns.
+func (g *Generator) Run(ctx context.Context, faults []paths.Fault) []FaultResult {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	start := time.Now()
 	sensAtStart := g.stats.SensitizeTime
 
@@ -102,11 +116,16 @@ func (g *Generator) Run(faults []paths.Fault) []FaultResult {
 				return
 			}
 			g.stats.FPTPGGroups++
-			phase2 = append(phase2, g.runGroup(batch)...)
+			phase2 = append(phase2, g.runGroup(ctx, batch)...)
 			batch = batch[:0]
-			g.maybeSimulate(recs)
+			if ctx.Err() == nil {
+				g.maybeSimulate(recs)
+			}
 		}
 		for _, r := range recs {
+			if ctx.Err() != nil {
+				break
+			}
 			if r.res.Status != Pending {
 				continue
 			}
@@ -118,7 +137,9 @@ func (g *Generator) Run(faults []paths.Fault) []FaultResult {
 				flush()
 			}
 		}
-		flush()
+		if ctx.Err() == nil {
+			flush()
+		}
 	} else {
 		for _, r := range recs {
 			if r.res.Status == Pending {
@@ -129,23 +150,40 @@ func (g *Generator) Run(faults []paths.Fault) []FaultResult {
 
 	if g.opts.UseAPTPG {
 		for _, r := range phase2 {
+			if ctx.Err() != nil {
+				break
+			}
 			if r.res.Status != Pending {
 				continue
 			}
 			if g.opts.SubpathPruning && g.pruneIfKnownRedundant(r) {
 				continue
 			}
-			g.runAPTPG(r)
-			g.maybeSimulate(recs)
+			g.runAPTPG(ctx, r)
+			if ctx.Err() == nil {
+				g.maybeSimulate(recs)
+			}
 		}
 	} else {
 		for _, r := range phase2 {
-			if r.res.Status == Pending {
+			if r.res.Status == Pending && ctx.Err() == nil {
 				g.markAborted(r, PhaseFPTPG)
 			}
 		}
 	}
-	// Anything still pending (both phases disabled) is aborted.
+	// Anything still pending was cut short by cancellation, or could not be
+	// processed because both phases are disabled.
+	if err := ctx.Err(); err != nil {
+		cause := context.Cause(ctx)
+		if cause == nil {
+			cause = err
+		}
+		for _, r := range recs {
+			if r.res.Status == Pending {
+				g.markCanceled(r, cause)
+			}
+		}
+	}
 	for _, r := range recs {
 		if r.res.Status == Pending {
 			g.markAborted(r, PhaseNone)
@@ -203,7 +241,9 @@ func (g *Generator) sensitizeRec(r *rec) bool {
 
 // runGroup processes up to WordWidth faults simultaneously, one per bit
 // level, and returns the faults that need backtracking (handed to APTPG).
-func (g *Generator) runGroup(batch []*rec) []*rec {
+// On context cancellation the group is abandoned mid-iteration; its unsettled
+// faults stay Pending and are swept up by Run.
+func (g *Generator) runGroup(ctx context.Context, batch []*rec) []*rec {
 	var needPhase2 []*rec
 	active := logic.LevelMask(len(batch))
 	g.st.Reset(active)
@@ -234,6 +274,9 @@ func (g *Generator) runGroup(batch []*rec) []*rec {
 	}
 
 	for iter := 0; alive != 0 && iter < g.opts.MaxFPTPGIterations; iter++ {
+		if ctx.Err() != nil {
+			return nil
+		}
 		g.st.ForwardSim()
 		if just := g.st.JustifiedMask() & alive; just != 0 {
 			for i, r := range batch {
@@ -360,7 +403,7 @@ type decision struct {
 // levels, up to log2(L) backtrace-selected inputs are enumerated in parallel
 // (one value combination per bit level) and any further decisions are made
 // conventionally with chronological backtracking on all levels at once.
-func (g *Generator) runAPTPG(r *rec) {
+func (g *Generator) runAPTPG(ctx context.Context, r *rec) {
 	g.stats.APTPGFaults++
 	if !g.sensitizeRec(r) {
 		g.markAborted(r, PhaseAPTPG)
@@ -402,6 +445,11 @@ func (g *Generator) runAPTPG(r *rec) {
 
 	maxSteps := 64 * (g.opts.MaxBacktracks + 4) * (len(g.c.Inputs()) + 4)
 	for step := 0; step < maxSteps; step++ {
+		// The step loop can run long on hard faults; poll the context every
+		// few steps so cancellation stays responsive without a per-step lock.
+		if step&15 == 0 && ctx.Err() != nil {
+			return
+		}
 		g.st.ForwardSim()
 		aliveMask := active &^ g.st.ConflictMask() &^ deadMask
 		if just := g.st.JustifiedMask() & aliveMask; just != 0 {
@@ -560,6 +608,7 @@ func (g *Generator) emitTest(r *rec, level int, phase Phase) bool {
 	g.stats.Tested++
 	g.stats.Patterns++
 	g.newPatterns++
+	g.settle(r)
 	return true
 }
 
@@ -579,12 +628,28 @@ func (g *Generator) markRedundant(r *rec, phase Phase) {
 	if g.opts.SubpathPruning && phase != PhasePruning {
 		g.recordRedundantPrefix(r)
 	}
+	g.settle(r)
 }
 
 func (g *Generator) markAborted(r *rec, phase Phase) {
 	r.res.Status = Aborted
 	r.res.Phase = phase
 	g.stats.Aborted++
+	g.settle(r)
+}
+
+// markCanceled aborts a fault the run never finished because its context was
+// canceled, carrying the cancellation cause in the result.
+func (g *Generator) markCanceled(r *rec, cause error) {
+	r.res.Err = cause
+	g.markAborted(r, PhaseNone)
+}
+
+// settle reports a freshly finalized fault to the OnSettle callback.
+func (g *Generator) settle(r *rec) {
+	if g.OnSettle != nil {
+		g.OnSettle(*r.res)
+	}
 }
 
 // ---------------------------------------------------------------------------
@@ -620,6 +685,7 @@ func (g *Generator) maybeSimulate(recs []*rec) {
 				r.res.Phase = PhaseSimulation
 				r.res.PatternIndex = base + start + bits.TrailingZeros64(mask)
 				g.stats.DetectedBySim++
+				g.settle(r)
 			}
 		}
 	}

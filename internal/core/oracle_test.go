@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/bench"
@@ -93,7 +94,7 @@ func TestGeneratorMatchesBruteForceOracle(t *testing.T) {
 				t.Fatal(err)
 			}
 			g := New(c, DefaultOptions(mode))
-			results := g.Run(faults)
+			results := g.Run(context.Background(), faults)
 			for i, r := range results {
 				if r.Status == Aborted {
 					t.Errorf("%s/%s: fault %s aborted on a tiny circuit", c.Name, mode, r.Fault.Describe(c))

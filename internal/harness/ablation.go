@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -37,7 +38,7 @@ func runAblation(label string, cfg Config, p bench.Profile, mutate func(*core.Op
 	}
 	start := time.Now()
 	g := core.New(c, opts)
-	g.Run(faults)
+	g.Run(context.Background(), faults)
 	row.Time = time.Since(start)
 	st := g.Stats()
 	row.Tested = st.Tested + st.DetectedBySim
@@ -154,7 +155,7 @@ func RunCoverageEstimate(cfg Config, profileName string, sampleSize int) Coverag
 	}
 	start := time.Now()
 	g := core.New(c, cfg.generatorOptions())
-	g.Run(cfg.sampleFaults(c))
+	g.Run(context.Background(), cfg.sampleFaults(c))
 	est.Patterns = g.TestSet().Len()
 	cov, n, err := faultsim.EstimateCoverage(c, g.TestSet().Pairs, sampleSize, cfg.Seed+1,
 		cfg.Mode == sensitize.Robust)

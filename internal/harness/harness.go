@@ -13,6 +13,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"math/big"
 	"strings"
@@ -183,7 +184,7 @@ func (cfg Config) runATPGRow(p bench.Profile) ATPGRow {
 
 	start := time.Now()
 	g := core.New(c, cfg.generatorOptions())
-	g.Run(faults)
+	g.Run(context.Background(), faults)
 	row.Time = time.Since(start)
 
 	st := g.Stats()
@@ -275,14 +276,14 @@ func (cfg Config) runSpeedupRow(p bench.Profile) SpeedupRow {
 	// Bit-parallel run.
 	start := time.Now()
 	gp := core.New(c, cfg.generatorOptions())
-	gp.Run(faults)
+	gp.Run(context.Background(), faults)
 	parallelTotal := time.Since(start)
 	row.AbortedParallel = gp.Stats().Aborted
 
 	// Single-bit run.
 	start = time.Now()
 	gs := core.New(c, cfg.singleBitOptions())
-	gs.Run(faults)
+	gs.Run(context.Background(), faults)
 	singleTotal := time.Since(start)
 	row.AbortedSingle = gs.Stats().Aborted
 
@@ -405,13 +406,13 @@ func (cfg Config) runCompareRow(p bench.Profile) CompareRow {
 
 	start := time.Now()
 	tip := core.New(c, cfg.generatorOptions())
-	tip.Run(faults)
+	tip.Run(context.Background(), faults)
 	row.TIPTime = time.Since(start)
 	row.TIPTested = tip.Stats().Tested + tip.Stats().DetectedBySim
 
 	start = time.Now()
 	base := core.New(c, cfg.structuralBaselineOptions())
-	base.Run(faults)
+	base.Run(context.Background(), faults)
 	row.BaselineTime = time.Since(start)
 	row.BaselineTested = base.Stats().Tested + base.Stats().DetectedBySim
 	return row
