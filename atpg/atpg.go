@@ -98,10 +98,13 @@ func (c Coverage) Efficiency() float64 {
 // Engine is the bit-parallel path delay fault test pattern generator, bound
 // to one circuit and one configuration.  Run and Stream may be called
 // several times; the test set, statistics and learned redundant subpaths
-// accumulate across calls.  An Engine is not safe for concurrent use.
+// accumulate across calls.  With [WithWorkers] the engine parallelizes each
+// run internally, but an Engine is still not safe for concurrent use by
+// multiple goroutines.
 type Engine struct {
 	circuit  *Circuit
 	gen      *core.Generator
+	workers  int
 	progress func(Result)
 }
 
@@ -125,9 +128,14 @@ func New(c *Circuit, opts ...Option) (*Engine, error) {
 	} else {
 		cfg.opts.FaultSimInterval = cfg.opts.WordWidth
 	}
+	workers := cfg.workers
+	if workers < 1 {
+		workers = 1
+	}
 	return &Engine{
 		circuit:  c,
 		gen:      core.New(c.c, cfg.opts),
+		workers:  workers,
 		progress: cfg.progress,
 	}, nil
 }
@@ -141,11 +149,16 @@ func (e *Engine) Mode() Mode { return e.gen.Options().Mode }
 // WordWidth returns the number of bit levels L the engine exploits.
 func (e *Engine) WordWidth() int { return e.gen.Options().WordWidth }
 
+// Workers returns the number of worker goroutines each run is sharded
+// across (1 = the sequential generator).
+func (e *Engine) Workers() int { return e.workers }
+
 // Run generates tests for the given faults and returns one result per
-// fault, in input order.  It honors ctx: on cancellation or deadline expiry
-// the run stops early, the error matches ErrCanceled (and wraps the context
-// cause), and every fault that had not settled is returned as Aborted with
-// the cause in its Err field.  An empty fault list yields ErrNoFaults.
+// fault, in input order (the order is deterministic regardless of the
+// worker count).  It honors ctx: on cancellation or deadline expiry the run
+// stops early, the error matches ErrCanceled (and wraps the context cause),
+// and every fault that had not settled is returned as Aborted with the
+// cause in its Err field.  An empty fault list yields ErrNoFaults.
 func (e *Engine) Run(ctx context.Context, faults []Fault) ([]Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -155,7 +168,7 @@ func (e *Engine) Run(ctx context.Context, faults []Fault) ([]Result, error) {
 	}
 	e.gen.OnSettle = e.progress
 	defer func() { e.gen.OnSettle = nil }()
-	results := e.gen.Run(ctx, faults)
+	results := core.RunSharded(ctx, e.gen, faults, e.workers)
 	if ctx.Err() != nil {
 		return results, fmt.Errorf("%w after %d of %d faults: %w",
 			ErrCanceled, settledCount(results), len(faults), context.Cause(ctx))
@@ -166,10 +179,18 @@ func (e *Engine) Run(ctx context.Context, faults []Fault) ([]Result, error) {
 // Stream generates tests for the given faults and yields each fault's
 // result as soon as its classification is final — generally not in input
 // order: redundant and easy faults settle first, simulation-detected ones
-// whenever a new pattern covers them.  Callers can stop consuming at any
-// time (break), which cancels the rest of the generation; cancelling ctx
-// has the same effect.  After the stream ends, [Engine.Coverage] and
-// [Engine.Tests] reflect everything generated.
+// whenever a new pattern covers them, and with several workers the shards
+// interleave.  Callers can stop consuming at any time (break), which
+// cancels the rest of the generation; cancelling ctx has the same effect.
+// After the stream ends, [Engine.Coverage] and [Engine.Tests] reflect
+// everything generated.
+//
+// The yield function always runs on the consumer's goroutine: in a parallel
+// engine the worker goroutines hand their settled results over a channel,
+// so ranging over the stream needs no synchronization.  One caveat of
+// parallel streams: the PatternIndex of a streamed result is worker-local
+// (or -1 for cross-shard simulation drops); indices into the merged test
+// set are only available from [Engine.Run].
 func (e *Engine) Stream(ctx context.Context, faults []Fault) iter.Seq[Result] {
 	return func(yield func(Result) bool) {
 		if len(faults) == 0 {
@@ -180,21 +201,51 @@ func (e *Engine) Stream(ctx context.Context, faults []Fault) iter.Seq[Result] {
 		}
 		runCtx, cancel := context.WithCancel(ctx)
 		defer cancel()
-		stopped := false
+		defer func() { e.gen.OnSettle = nil }()
+
+		if e.workers <= 1 || len(faults) <= 1 {
+			stopped := false
+			e.gen.OnSettle = func(r Result) {
+				if e.progress != nil {
+					e.progress(r)
+				}
+				if stopped {
+					return
+				}
+				if !yield(r) {
+					stopped = true
+					cancel()
+				}
+			}
+			e.gen.Run(runCtx, faults)
+			return
+		}
+
+		// Parallel run: workers settle faults on their own goroutines.  Every
+		// fault settles exactly once, so a buffer of len(faults) lets workers
+		// publish without ever blocking; the consumer drains on its own
+		// goroutine.  After an early break the channel is drained to
+		// completion so the engine's accumulated state is final (and the
+		// master generator idle) by the time the stream returns.
+		ch := make(chan Result, len(faults))
 		e.gen.OnSettle = func(r Result) {
 			if e.progress != nil {
 				e.progress(r)
 			}
-			if stopped {
+			ch <- r
+		}
+		go func() {
+			core.RunSharded(runCtx, e.gen, faults, e.workers)
+			close(ch)
+		}()
+		for r := range ch {
+			if !yield(r) {
+				cancel()
+				for range ch {
+				}
 				return
 			}
-			if !yield(r) {
-				stopped = true
-				cancel()
-			}
 		}
-		defer func() { e.gen.OnSettle = nil }()
-		e.gen.Run(runCtx, faults)
 	}
 }
 

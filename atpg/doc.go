@@ -56,6 +56,19 @@
 //   - [WithProgress] registers a callback invoked as each fault settles;
 //     it observes the same stream [Engine.Stream] yields.
 //
+// # Beyond the paper: multi-core sharding
+//
+// The paper's parallelism lives inside one machine word; [WithWorkers]
+// multiplies it by core-level parallelism.  The fault slice is sharded
+// across n worker goroutines, each running an independent generator over
+// the shared immutable circuit, and the shards cooperate: patterns emitted
+// by one worker are periodically fault-simulated against the other workers'
+// pending faults, so the interleaved-simulation dropping of the paper keeps
+// working across shards.  Results merge into the same deterministic,
+// input-ordered slice [Engine.Run] always returns, and the test set,
+// statistics and learned redundant subpaths accumulate in the engine
+// exactly as in a sequential run.  See docs/ARCHITECTURE.md for the design.
+//
 // Generation honors context cancellation and deadlines: a canceled run
 // returns early with an error matching [ErrCanceled], and every fault that
 // had not settled yet is reported as [Aborted] with the cancellation cause

@@ -83,6 +83,13 @@ func RunWordWidthAblation(cfg ExperimentConfig, widths []int) []AblationRow {
 // generator.
 func RunModeAblation(cfg ExperimentConfig) []AblationRow { return harness.RunModeAblation(cfg) }
 
+// RunWorkerAblation sweeps the worker count of the sharded engine (counts
+// defaults to 1, 2 and GOMAXPROCS): core-level parallelism on top of the
+// paper's word-level parallelism.
+func RunWorkerAblation(cfg ExperimentConfig, counts []int) []AblationRow {
+	return harness.RunWorkerAblation(cfg, counts)
+}
+
 // RunFaultSimAblation compares generation with and without the interleaved
 // fault simulation.
 func RunFaultSimAblation(cfg ExperimentConfig) []AblationRow { return harness.RunFaultSimAblation(cfg) }

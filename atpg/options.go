@@ -2,6 +2,7 @@ package atpg
 
 import (
 	"fmt"
+	"runtime"
 
 	"repro/internal/core"
 	"repro/internal/logic"
@@ -45,7 +46,10 @@ type engineConfig struct {
 	// simInterval, when nil, tracks the word width (the paper simulates
 	// after every L generated patterns).
 	simInterval *int
-	progress    func(Result)
+	// workers is the resolved worker count; 0 (option absent) means 1, the
+	// sequential engine.
+	workers  int
+	progress func(Result)
 }
 
 // WithMode selects robust or nonrobust test generation (default: robust).
@@ -118,9 +122,40 @@ func WithInterleavedSim(interval int) Option {
 	}
 }
 
+// WithWorkers sets the number of worker goroutines the engine shards the
+// fault list across, stacking core-level parallelism on top of the paper's
+// word-level bit parallelism: each worker owns an independent generator over
+// the shared immutable circuit and processes one contiguous shard of the
+// fault slice.  When the interleaved simulation is on, workers exchange
+// their patterns so one shard's tests still drop detected faults on the
+// others.  n = 0 selects runtime.GOMAXPROCS(0), one worker per available
+// core; negative counts fail construction.  The default is 1, the
+// sequential generator of the paper.
+//
+// Sharding never changes which faults are covered, proved redundant or
+// aborted, but it can change whether a covered fault reports Tested (its
+// own pattern) or DetectedBySim (dropped by another fault's pattern), since
+// that depends on the cross-shard pattern arrival order.  Statistics
+// aggregate over the workers, so Stats time fields become CPU time rather
+// than wall-clock time.
+func WithWorkers(n int) Option {
+	return func(c *engineConfig) error {
+		if n < 0 {
+			return fmt.Errorf("atpg: negative worker count %d", n)
+		}
+		if n == 0 {
+			n = runtime.GOMAXPROCS(0)
+		}
+		c.workers = n
+		return nil
+	}
+}
+
 // WithProgress registers a callback invoked once for every fault whose
 // classification becomes final, in settle order.  The callback runs on the
-// generating goroutine and must not call back into the engine.
+// generating goroutine — with several workers, on whichever worker settles
+// the fault, serialized by the engine — and must not call back into the
+// engine.
 func WithProgress(fn func(Result)) Option {
 	return func(c *engineConfig) error {
 		c.progress = fn

@@ -1,8 +1,10 @@
 package atpg
 
 import (
+	"fmt"
 	"io"
 	"os"
+	"runtime"
 
 	"repro/internal/faultsim"
 	"repro/internal/pattern"
@@ -20,6 +22,23 @@ func Simulate(c *Circuit, pairs []TestPair, faults []Fault, robust bool) (SimRes
 		return SimResult{}, ErrNilCircuit
 	}
 	return faultsim.Run(c.c, pairs, faults, robust)
+}
+
+// SimulateParallel is Simulate sharded across workers goroutines: per-fault
+// detection is independent, so the result is identical to Simulate, only
+// faster on multi-core machines.  Like [WithWorkers], 0 selects one worker
+// per core and negative counts are an error.
+func SimulateParallel(c *Circuit, pairs []TestPair, faults []Fault, robust bool, workers int) (SimResult, error) {
+	if c == nil || c.c == nil {
+		return SimResult{}, ErrNilCircuit
+	}
+	if workers < 0 {
+		return SimResult{}, fmt.Errorf("atpg: negative worker count %d", workers)
+	}
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return faultsim.RunParallel(c.c, pairs, faults, robust, workers)
 }
 
 // FaultCoverage returns the fraction of the given faults detected by the

@@ -10,8 +10,10 @@ package repro
 
 import (
 	"context"
+	"fmt"
 	"testing"
 
+	"repro/atpg"
 	"repro/internal/bench"
 	"repro/internal/circuit"
 	"repro/internal/core"
@@ -92,6 +94,33 @@ func BenchmarkTable8RobustComparison(b *testing.B) {
 		if len(rows) != 10 {
 			b.Fatalf("expected 10 rows, got %d", len(rows))
 		}
+	}
+}
+
+// BenchmarkRun measures the multi-core sharded engine on the largest
+// builtin circuit (the c7552-class profile): the same 128-fault robust run
+// sharded across 1, 2, 4 and 8 workers.  On a multi-core machine the
+// wall-clock time should drop roughly with the worker count until the
+// shards run out of faults; on a single core the worker counts tie, which
+// is the overhead check.
+func BenchmarkRun(b *testing.B) {
+	c, err := atpg.Builtin("c7552")
+	if err != nil {
+		b.Fatal(err)
+	}
+	faults := atpg.SampleFaults(c, 128, 1995)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				e, err := atpg.New(c, atpg.WithWorkers(workers))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := e.Run(context.Background(), faults); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

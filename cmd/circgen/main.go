@@ -8,6 +8,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
 
 	"repro/atpg"
 )
@@ -16,6 +19,9 @@ func main() {
 	var (
 		name    = flag.String("circuit", "", "built-in circuit or profile name")
 		list    = flag.Bool("list", false, "list all built-in circuit names")
+		all     = flag.Bool("all", false, "materialize every built-in profile circuit into -dir")
+		dir     = flag.String("dir", "", "with -all: directory to write the .bench files to")
+		workers = flag.Int("workers", 1, "with -all: synthesize circuits on this many goroutines (0 = one per core)")
 		out     = flag.String("out", "", "output file (default: stdout)")
 		inputs  = flag.Int("inputs", 0, "custom circuit: number of primary inputs")
 		outputs = flag.Int("outputs", 0, "custom circuit: number of primary outputs")
@@ -28,6 +34,17 @@ func main() {
 	if *list {
 		for _, n := range atpg.BuiltinNames() {
 			fmt.Println(n)
+		}
+		return
+	}
+	if *all {
+		if *dir == "" {
+			fmt.Fprintln(os.Stderr, "circgen: -all requires -dir")
+			os.Exit(1)
+		}
+		if err := writeAll(*dir, *workers); err != nil {
+			fmt.Fprintln(os.Stderr, "circgen:", err)
+			os.Exit(1)
 		}
 		return
 	}
@@ -67,4 +84,56 @@ func main() {
 		fmt.Fprintln(os.Stderr, "circgen:", err)
 		os.Exit(1)
 	}
+}
+
+// writeAll synthesizes every built-in profile circuit on workers goroutines
+// and writes one <name>.bench file per profile into dir.
+func writeAll(dir string, workers int) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	profiles := atpg.Profiles()
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	errs := make([]error, len(profiles))
+	var wg sync.WaitGroup
+	idx := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				errs[i] = writeOne(dir, profiles[i])
+			}
+		}()
+	}
+	for i := range profiles {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("%s: %w", profiles[i].Name, err)
+		}
+		fmt.Printf("wrote %s\n", filepath.Join(dir, profiles[i].Name+".bench"))
+	}
+	return nil
+}
+
+func writeOne(dir string, p atpg.Profile) error {
+	c, err := atpg.Synthesize(p)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, p.Name+".bench"))
+	if err != nil {
+		return err
+	}
+	if err := c.WriteBench(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

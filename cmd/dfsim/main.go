@@ -18,6 +18,7 @@ func main() {
 		patternFile = flag.String("patterns", "", "test set file (as written by cmd/tip -out)")
 		sample      = flag.Int("sample", 1000, "number of faults to sample (0 = enumerate all; beware of path explosion)")
 		seed        = flag.Int64("seed", 1, "fault sampling seed")
+		workers     = flag.Int("workers", 1, "worker goroutines to shard the fault list across (0 = one per core)")
 	)
 	flag.Parse()
 
@@ -49,13 +50,17 @@ func main() {
 	fmt.Printf("circuit: %s\n", c)
 	fmt.Printf("test pairs: %d, faults simulated: %d\n", set.Len(), len(faults))
 	for _, robust := range []bool{false, true} {
-		cov, err := atpg.FaultCoverage(c, set.Pairs, faults, robust)
+		res, err := atpg.SimulateParallel(c, set.Pairs, faults, robust, *workers)
 		if err != nil {
 			fail(err)
 		}
 		label := "nonrobust"
 		if robust {
 			label = "robust"
+		}
+		cov := 0.0
+		if len(faults) > 0 {
+			cov = float64(res.NumDetected) / float64(len(faults))
 		}
 		fmt.Printf("%-10s coverage: %6.2f%%\n", label, cov*100)
 	}

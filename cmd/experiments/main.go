@@ -17,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"repro/atpg"
 )
@@ -31,6 +32,7 @@ func main() {
 		scale     = flag.Float64("scale", 0, "override the circuit scale factor (1.0 = published size)")
 		faults    = flag.Int("faults", 0, "override the number of faults sampled per circuit")
 		seed      = flag.Int64("seed", 1995, "fault sampling seed")
+		workers   = flag.Int("workers", 1, "worker goroutines per generator run (0 = one per core)")
 	)
 	flag.Parse()
 
@@ -46,6 +48,10 @@ func main() {
 			cfg.FaultsPerCircuit = *faults
 		}
 		cfg.Seed = *seed
+		cfg.Workers = *workers
+		if cfg.Workers <= 0 {
+			cfg.Workers = runtime.GOMAXPROCS(0)
+		}
 		return cfg
 	}
 
@@ -107,6 +113,8 @@ func main() {
 		fmt.Print(atpg.FormatAblationTable("Ablation: interleaved fault simulation", atpg.RunFaultSimAblation(cfg)))
 		fmt.Println()
 		fmt.Print(atpg.FormatAblationTable("Ablation: subpath redundancy pruning", atpg.RunPruningAblation(cfg)))
+		fmt.Println()
+		fmt.Print(atpg.FormatAblationTable("Ablation: sharded-engine workers", atpg.RunWorkerAblation(cfg, nil)))
 		fmt.Println()
 		est := atpg.RunCoverageEstimate(cfg, "s713", 500)
 		if est.Err != nil {

@@ -8,6 +8,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"sync"
 
 	"repro/atpg"
 )
@@ -18,20 +20,44 @@ func main() {
 		benchFile   = flag.String("bench", "", "path to an ISCAS .bench file")
 		top         = flag.Int("top", 5, "list the N nets with the most paths through them")
 		all         = flag.Bool("all", false, "report every built-in profile circuit")
+		workers     = flag.Int("workers", 1, "with -all: synthesize and count circuits on this many goroutines (0 = one per core)")
 	)
 	flag.Parse()
 
 	if *all {
 		fmt.Printf("%-10s %8s %8s %8s %8s %18s\n", "circuit", "inputs", "outputs", "gates", "depth", "path delay faults")
-		for _, p := range atpg.Profiles() {
-			c, err := atpg.Synthesize(p)
-			if err != nil {
-				fmt.Printf("%-10s error: %v\n", p.Name, err)
-				continue
-			}
-			st := c.Stats()
-			fmt.Printf("%-10s %8d %8d %8d %8d %18s\n",
-				p.Name, st.Inputs, st.Outputs, st.Gates, st.MaxLevel, c.FaultCount().String())
+		profiles := atpg.Profiles()
+		rows := make([]string, len(profiles))
+		n := *workers
+		if n <= 0 {
+			n = runtime.GOMAXPROCS(0)
+		}
+		var wg sync.WaitGroup
+		idx := make(chan int)
+		for w := 0; w < n; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					p := profiles[i]
+					c, err := atpg.Synthesize(p)
+					if err != nil {
+						rows[i] = fmt.Sprintf("%-10s error: %v\n", p.Name, err)
+						continue
+					}
+					st := c.Stats()
+					rows[i] = fmt.Sprintf("%-10s %8d %8d %8d %8d %18s\n",
+						p.Name, st.Inputs, st.Outputs, st.Gates, st.MaxLevel, c.FaultCount().String())
+				}
+			}()
+		}
+		for i := range profiles {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
+		for _, r := range rows {
+			fmt.Print(r)
 		}
 		return
 	}

@@ -27,6 +27,7 @@ func main() {
 		numFaults   = flag.Int("faults", 256, "number of target faults (0 = all structural faults; beware of path explosion)")
 		seed        = flag.Int64("seed", 1995, "seed for fault sampling")
 		width       = flag.Int("width", atpg.MaxWordWidth, "word width L (1..64); 1 is the single-bit baseline")
+		workers     = flag.Int("workers", 1, "worker goroutines to shard the fault list across (0 = one per core)")
 		backtracks  = flag.Int("backtracks", 64, "backtrack limit per fault")
 		noFPTPG     = flag.Bool("no-fptpg", false, "disable fault-parallel generation")
 		noAPTPG     = flag.Bool("no-aptpg", false, "disable alternative-parallel generation")
@@ -59,6 +60,7 @@ func main() {
 	e, err := atpg.New(c,
 		atpg.WithMode(m),
 		atpg.WithWordWidth(*width),
+		atpg.WithWorkers(*workers),
 		atpg.WithBacktrackLimit(*backtracks),
 		atpg.WithFaultParallel(!*noFPTPG),
 		atpg.WithAlternativeParallel(!*noAPTPG),
@@ -69,6 +71,9 @@ func main() {
 	}
 	if err != nil {
 		fail(err)
+	}
+	if e.Workers() != 1 {
+		fmt.Printf("workers: %d\n", e.Workers())
 	}
 
 	results, err := e.Run(context.Background(), faults)

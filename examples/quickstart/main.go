@@ -48,7 +48,12 @@ func main() {
 		}
 		fmt.Println(line)
 	}
+	// 5. Summarize.  Coverage.Fraction is the covered share of the targeted
+	//    faults; Coverage.Efficiency is the paper's fault-efficiency metric,
+	//    (1 - aborted/faults) * 100%.
+	cov := e.Coverage()
 	fmt.Println()
 	fmt.Println("summary:", e.Stats().String())
+	fmt.Printf("coverage: %.1f%%, efficiency: %.1f%%\n", cov.Fraction()*100, cov.Efficiency())
 	fmt.Printf("test set (%d pairs):\n%s", e.Tests().Len(), e.Tests().String())
 }

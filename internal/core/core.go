@@ -246,6 +246,30 @@ type Stats struct {
 	GenerateTime  time.Duration
 }
 
+// Add accumulates the counters and times of another run into s.  It is the
+// merge operation of the sharded engine: every worker runs with its own
+// Stats, and the orchestrator folds them into the master's.  The time fields
+// add up to aggregate CPU time, not wall-clock time, when the runs were
+// concurrent.
+func (s *Stats) Add(o Stats) {
+	s.Faults += o.Faults
+	s.Tested += o.Tested
+	s.Redundant += o.Redundant
+	s.Aborted += o.Aborted
+	s.DetectedBySim += o.DetectedBySim
+	s.PrunedRedundant += o.PrunedRedundant
+
+	s.Patterns += o.Patterns
+	s.FPTPGGroups += o.FPTPGGroups
+	s.APTPGFaults += o.APTPGFaults
+	s.Decisions += o.Decisions
+	s.Backtracks += o.Backtracks
+	s.Implications += o.Implications
+
+	s.SensitizeTime += o.SensitizeTime
+	s.GenerateTime += o.GenerateTime
+}
+
 // Efficiency returns the paper's efficiency metric
 // (1 - aborted/faults) * 100%.
 func (s Stats) Efficiency() float64 {

@@ -36,6 +36,21 @@ type Generator struct {
 	// Run and must not call back into the generator.
 	OnSettle func(FaultResult)
 
+	// OnPattern, when non-nil, is invoked for every verified test pattern as
+	// it is added to the test set.  The sharded engine (RunSharded) uses it
+	// to publish each worker's patterns to the other workers; the pair must
+	// be treated as immutable.
+	OnPattern func(pattern.Pair)
+
+	// ImportPatterns, when non-nil, is polled at every fault-simulation
+	// point for patterns generated outside this generator (by other workers
+	// of a sharded run).  The returned pairs are fault-simulated against the
+	// still-pending faults, and detected faults are dropped exactly like
+	// drops from the generator's own interleaved simulation, except that
+	// their PatternIndex is -1: foreign patterns have no index in this
+	// generator's test set.  It is ignored while FaultSimInterval is 0.
+	ImportPatterns func() []pattern.Pair
+
 	// redundantPrefixes maps a subpath key (path prefix + launch transition)
 	// proved unsensitizable to true; faults containing such a prefix are
 	// redundant without further work.
@@ -73,6 +88,37 @@ func New(c *circuit.Circuit, opts Options) *Generator {
 		g.pruneSt.MaxSweeps = opts.MaxImplySweeps
 	}
 	return g
+}
+
+// Fork returns a fresh generator over the same (immutable, shared) circuit
+// and options, with an empty test set and zeroed statistics, but carrying a
+// snapshot of the redundant subpaths learned so far.  Forked generators are
+// the workers of a sharded run: each owns its complete mutable state, so
+// forks may run concurrently with each other (but not with their parent).
+func (g *Generator) Fork() *Generator {
+	w := New(g.c, g.opts)
+	for k := range g.redundantPrefixes {
+		w.redundantPrefixes[k] = true
+	}
+	return w
+}
+
+// Absorb merges a finished worker back into g: the worker's test set is
+// appended to g's, its statistics are added, and the redundant subpaths it
+// learned are kept for later runs.  It returns the index in g's test set
+// that the worker's first pattern received, the offset for remapping the
+// worker's PatternIndex values.  The worker must not be used afterwards.
+func (g *Generator) Absorb(w *Generator) int {
+	base := g.testSet.Append(w.testSet)
+	g.stats.Add(w.stats)
+	for k := range w.redundantPrefixes {
+		g.redundantPrefixes[k] = true
+	}
+	// Absorbed patterns are final results of a completed run: they must not
+	// be re-simulated by a later sequential Run on g.
+	g.lastSimmed = g.testSet.Len()
+	g.newPatterns = 0
+	return base
 }
 
 // Options returns the (normalized) options the generator runs with.
@@ -601,6 +647,9 @@ func (g *Generator) emitTest(r *rec, level int, phase Phase) bool {
 	}
 	idx := g.testSet.Len()
 	g.testSet.Add(p, r.fault.Describe(g.c))
+	if g.OnPattern != nil {
+		g.OnPattern(p)
+	}
 	r.res.Status = Tested
 	r.res.Phase = phase
 	r.res.Test = p
@@ -656,18 +705,37 @@ func (g *Generator) settle(r *rec) {
 // Interleaved fault simulation.
 // ---------------------------------------------------------------------------
 
-// maybeSimulate runs parallel-pattern fault simulation over the patterns
-// generated since the last simulation and drops every still-pending fault
-// they detect, as the paper does after every L generated patterns.
+// maybeSimulate drops still-pending faults that are already detected by
+// existing patterns.  Patterns imported from other workers of a sharded run
+// are simulated whenever they arrive; the generator's own patterns are
+// simulated after every FaultSimInterval of them, as the paper does after
+// every L generated patterns.
 func (g *Generator) maybeSimulate(recs []*rec) {
-	if g.opts.FaultSimInterval <= 0 || g.newPatterns < g.opts.FaultSimInterval {
+	if g.opts.FaultSimInterval <= 0 {
+		return
+	}
+	if g.ImportPatterns != nil {
+		if foreign := g.ImportPatterns(); len(foreign) > 0 {
+			g.dropDetected(recs, foreign, -1)
+		}
+	}
+	if g.newPatterns < g.opts.FaultSimInterval {
 		return
 	}
 	g.newPatterns = 0
-	robust := g.opts.Mode == sensitize.Robust
-	pairs := g.testSet.Pairs[g.lastSimmed:]
 	base := g.lastSimmed
+	pairs := g.testSet.Pairs[base:]
 	g.lastSimmed = g.testSet.Len()
+	g.dropDetected(recs, pairs, base)
+}
+
+// dropDetected fault-simulates the pairs against every still-pending fault
+// and settles the detected ones as DetectedBySim.  base is the test-set
+// index of pairs[0]; a negative base marks foreign patterns that have no
+// index in this generator's test set (PatternIndex stays -1 and is
+// reconciled against the merged set by the sharded orchestrator).
+func (g *Generator) dropDetected(recs []*rec, pairs []pattern.Pair, base int) {
+	robust := g.opts.Mode == sensitize.Robust
 	for start := 0; start < len(pairs); start += faultsim.BatchSize {
 		end := start + faultsim.BatchSize
 		if end > len(pairs) {
@@ -683,7 +751,9 @@ func (g *Generator) maybeSimulate(recs []*rec) {
 			if mask := g.sim.Detects(r.fault, robust); mask != 0 {
 				r.res.Status = DetectedBySim
 				r.res.Phase = PhaseSimulation
-				r.res.PatternIndex = base + start + bits.TrailingZeros64(mask)
+				if base >= 0 {
+					r.res.PatternIndex = base + start + bits.TrailingZeros64(mask)
+				}
 				g.stats.DetectedBySim++
 				g.settle(r)
 			}

@@ -1,0 +1,168 @@
+package core
+
+import (
+	"context"
+	"sync"
+
+	"repro/internal/faultsim"
+	"repro/internal/paths"
+	"repro/internal/pattern"
+	"repro/internal/sensitize"
+)
+
+// RunSharded generates tests for the faults like Generator.Run, but shards
+// the fault list across workers goroutines, multiplying the paper's
+// word-level bit parallelism by core-level parallelism.  Each worker is a
+// Fork of master — an independent generator over the shared immutable
+// circuit — processing one contiguous shard.  When the interleaved fault
+// simulation is enabled, workers exchange their verified patterns through a
+// shared buffer, so a pattern emitted on one shard still drops detected
+// faults on the others.
+//
+// The merged result slice is deterministic and input-ordered: result i
+// belongs to faults[i].  Pattern indices refer to the merged test set, which
+// master accumulates (worker sets are appended in shard order); faults
+// dropped by a foreign worker's pattern get the index of the first pattern
+// of the merged set that detects them.  master's OnSettle callback is
+// invoked as faults settle, serialized by a mutex but in a nondeterministic
+// interleaving across shards; its OnPattern and ImportPatterns hooks are not
+// used.  Statistics are summed over the workers, so the time fields report
+// aggregate CPU time rather than wall-clock time.
+//
+// With workers <= 1 (or a single fault) the call is exactly master.Run.
+// master must not be used concurrently with RunSharded.
+func RunSharded(ctx context.Context, master *Generator, faults []paths.Fault, workers int) []FaultResult {
+	if workers > len(faults) {
+		workers = len(faults)
+	}
+	if workers <= 1 {
+		return master.Run(ctx, faults)
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+
+	var settleMu sync.Mutex
+	settle := master.OnSettle
+
+	var x *exchange
+	if master.opts.FaultSimInterval > 0 {
+		x = newExchange(workers)
+	}
+
+	bounds := shardBounds(len(faults), workers)
+	gens := make([]*Generator, workers)
+	shardResults := make([][]FaultResult, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		g := master.Fork()
+		if settle != nil {
+			g.OnSettle = func(r FaultResult) {
+				settleMu.Lock()
+				defer settleMu.Unlock()
+				settle(r)
+			}
+		}
+		if x != nil {
+			id := w
+			g.OnPattern = func(p pattern.Pair) { x.publish(id, p) }
+			g.ImportPatterns = func() []pattern.Pair { return x.fetch(id) }
+		}
+		gens[w] = g
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			shardResults[w] = gens[w].Run(ctx, faults[bounds[w]:bounds[w+1]])
+		}(w)
+	}
+	wg.Wait()
+
+	// Merge: append the worker test sets in shard order, remap the worker-
+	// local pattern indices to the merged set, and reassemble the results in
+	// fault input order.
+	results := make([]FaultResult, len(faults))
+	var foreignDropped []int
+	for w := 0; w < workers; w++ {
+		base := master.Absorb(gens[w])
+		for i, r := range shardResults[w] {
+			if r.PatternIndex >= 0 {
+				r.PatternIndex += base
+			} else if r.Status == DetectedBySim {
+				foreignDropped = append(foreignDropped, bounds[w]+i)
+			}
+			results[bounds[w]+i] = r
+		}
+	}
+
+	// Faults dropped by a foreign worker's pattern carry no index yet: find
+	// the first detecting pattern in the merged set.
+	if len(foreignDropped) > 0 {
+		dropped := make([]paths.Fault, len(foreignDropped))
+		for i, idx := range foreignDropped {
+			dropped[i] = results[idx].Fault
+		}
+		sim, err := faultsim.Run(master.c, master.testSet.Pairs, dropped,
+			master.opts.Mode == sensitize.Robust)
+		if err == nil {
+			for i, idx := range foreignDropped {
+				results[idx].PatternIndex = sim.DetectedBy[i]
+			}
+		}
+	}
+	return results
+}
+
+// shardBounds splits n faults into workers contiguous shards of near-equal
+// size: bounds[w]..bounds[w+1] is worker w's shard.
+func shardBounds(n, workers int) []int {
+	bounds := make([]int, workers+1)
+	per, extra := n/workers, n%workers
+	for w := 0; w < workers; w++ {
+		size := per
+		if w < extra {
+			size++
+		}
+		bounds[w+1] = bounds[w] + size
+	}
+	return bounds
+}
+
+// exchange is the cross-worker pattern buffer: every worker publishes its
+// verified patterns and periodically fetches the patterns the other workers
+// published since its last fetch, so DetectedBySim drops happen across
+// shards.
+type exchange struct {
+	mu      sync.Mutex
+	entries []exchangeEntry
+	cursors []int
+}
+
+type exchangeEntry struct {
+	from int
+	pair pattern.Pair
+}
+
+func newExchange(workers int) *exchange {
+	return &exchange{cursors: make([]int, workers)}
+}
+
+func (x *exchange) publish(from int, p pattern.Pair) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	x.entries = append(x.entries, exchangeEntry{from: from, pair: p})
+}
+
+// fetch returns the patterns published by other workers since worker w's
+// previous fetch.
+func (x *exchange) fetch(w int) []pattern.Pair {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	var out []pattern.Pair
+	for _, e := range x.entries[x.cursors[w]:] {
+		if e.from != w {
+			out = append(out, e.pair)
+		}
+	}
+	x.cursors[w] = len(x.entries)
+	return out
+}

@@ -1,0 +1,163 @@
+package core
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/paths"
+	"repro/internal/pattern"
+	"repro/internal/sensitize"
+)
+
+// classOf collapses a status to its coverage class: Tested and DetectedBySim
+// both mean "the merged test set covers the fault", and which of the two a
+// fault gets depends on the worker interleaving when the cross-worker
+// pattern exchange is active.
+func classOf(s Status) string {
+	if s.Detected() {
+		return "detected"
+	}
+	return s.String()
+}
+
+// TestShardedMatchesSequential checks the cornerstone of the sharded engine
+// on several circuits and modes: any worker count must classify every fault
+// the same as the sequential generator.  With the interleaved simulation
+// disabled every fault's search is independent, so the statuses must match
+// exactly; with it enabled, Tested and DetectedBySim may swap (coverage
+// class equality), but redundancy proofs and the merged coverage must not
+// move.
+func TestShardedMatchesSequential(t *testing.T) {
+	for _, name := range []string{"c17", "paper", "redundant", "adder8", "cmp8"} {
+		c, err := bench.Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		faults := paths.EnumerateFaults(c, 0)
+		for _, mode := range []sensitize.Mode{sensitize.Robust, sensitize.Nonrobust} {
+			for _, simInterval := range []int{0, 4} {
+				opts := DefaultOptions(mode)
+				opts.FaultSimInterval = simInterval
+				seq := New(c, opts)
+				want := seq.Run(context.Background(), faults)
+				for _, workers := range []int{2, 3, 8} {
+					g := New(c, opts)
+					got := RunSharded(context.Background(), g, faults, workers)
+					if len(got) != len(want) {
+						t.Fatalf("%s: %d sharded results for %d faults", name, len(got), len(faults))
+					}
+					for i := range got {
+						if got[i].Fault.Key() != want[i].Fault.Key() {
+							t.Fatalf("%s workers=%d: result %d is for fault %s, want %s (merge order broken)",
+								name, workers, i, got[i].Fault.Key(), want[i].Fault.Key())
+						}
+						if simInterval == 0 {
+							if got[i].Status != want[i].Status {
+								t.Errorf("%s workers=%d mode=%v: fault %s is %v, sequential says %v",
+									name, workers, mode, got[i].Fault.Key(), got[i].Status, want[i].Status)
+							}
+						} else if classOf(got[i].Status) != classOf(want[i].Status) {
+							t.Errorf("%s workers=%d mode=%v sim=%d: fault %s is %v, sequential says %v",
+								name, workers, mode, simInterval, got[i].Fault.Key(), got[i].Status, want[i].Status)
+						}
+					}
+					gs, ss := g.Stats(), seq.Stats()
+					if gs.Faults != ss.Faults || gs.Redundant != ss.Redundant ||
+						gs.Tested+gs.DetectedBySim != ss.Tested+ss.DetectedBySim ||
+						gs.Aborted != ss.Aborted {
+						t.Errorf("%s workers=%d: sharded stats %v disagree with sequential %v",
+							name, workers, gs, ss)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestShardedPatternIndices checks that every merged result's PatternIndex
+// points at a pattern of the merged test set that actually detects the
+// fault, for tested and simulation-dropped faults alike.
+func TestShardedPatternIndices(t *testing.T) {
+	c, err := bench.Get("adder8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults := paths.EnumerateFaults(c, 0)
+	opts := DefaultOptions(sensitize.Robust)
+	opts.FaultSimInterval = 2 // aggressive dropping to exercise the exchange
+	g := New(c, opts)
+	results := RunSharded(context.Background(), g, faults, 4)
+	set := g.TestSet()
+	if set.Len() == 0 {
+		t.Fatal("no patterns generated")
+	}
+	sim := New(c, opts).sim
+	for _, r := range results {
+		if !r.Status.Detected() {
+			continue
+		}
+		if r.PatternIndex < 0 || r.PatternIndex >= set.Len() {
+			t.Errorf("fault %s (%v) has pattern index %d outside the merged set (len %d)",
+				r.Fault.Key(), r.Status, r.PatternIndex, set.Len())
+			continue
+		}
+		if _, err := sim.Load([]pattern.Pair{set.Pairs[r.PatternIndex]}); err != nil {
+			t.Fatal(err)
+		}
+		if sim.Detects(r.Fault, true) == 0 {
+			t.Errorf("pattern %d does not detect fault %s it is recorded for", r.PatternIndex, r.Fault.Key())
+		}
+	}
+}
+
+// TestShardedSettleCallback checks that the serialized OnSettle callback
+// fires exactly once per fault across all workers.
+func TestShardedSettleCallback(t *testing.T) {
+	c, err := bench.Get("cmp8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults := paths.EnumerateFaults(c, 0)
+	var mu sync.Mutex
+	seen := make(map[string]int)
+	g := New(c, DefaultOptions(sensitize.Nonrobust))
+	g.OnSettle = func(r FaultResult) {
+		mu.Lock()
+		defer mu.Unlock()
+		seen[r.Fault.Key()]++
+	}
+	RunSharded(context.Background(), g, faults, 4)
+	if len(seen) != len(faults) {
+		t.Fatalf("OnSettle saw %d distinct faults, want %d", len(seen), len(faults))
+	}
+	for k, n := range seen {
+		if n != 1 {
+			t.Errorf("fault %s settled %d times", k, n)
+		}
+	}
+}
+
+// TestShardBounds checks the deterministic near-even shard split.
+func TestShardBounds(t *testing.T) {
+	for _, tc := range []struct {
+		n, workers int
+		want       []int
+	}{
+		{10, 4, []int{0, 3, 6, 8, 10}},
+		{4, 4, []int{0, 1, 2, 3, 4}},
+		{7, 2, []int{0, 4, 7}},
+	} {
+		got := shardBounds(tc.n, tc.workers)
+		if len(got) != len(tc.want) {
+			t.Fatalf("shardBounds(%d,%d) = %v, want %v", tc.n, tc.workers, got, tc.want)
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Errorf("shardBounds(%d,%d) = %v, want %v", tc.n, tc.workers, got, tc.want)
+				break
+			}
+		}
+	}
+}

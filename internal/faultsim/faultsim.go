@@ -12,6 +12,7 @@ package faultsim
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/circuit"
 	"repro/internal/logic"
@@ -203,6 +204,58 @@ func Run(c *circuit.Circuit, pairs []pattern.Pair, faults []paths.Fault, robust 
 				res.NumDetected++
 			}
 		}
+	}
+	return res, nil
+}
+
+// RunParallel is Run sharded across workers goroutines: the fault list is
+// split into contiguous near-even shards and each worker simulates all pairs
+// against its shard with its own Simulator over the shared immutable
+// circuit.  The result is identical to Run (per-fault detection is
+// independent, and each fault still scans the pair batches in order, so
+// DetectedBy stays the index of the first detecting pair).  workers <= 1
+// falls back to the sequential Run.
+func RunParallel(c *circuit.Circuit, pairs []pattern.Pair, faults []paths.Fault, robust bool, workers int) (Result, error) {
+	if workers > len(faults) {
+		workers = len(faults)
+	}
+	if workers <= 1 {
+		return Run(c, pairs, faults, robust)
+	}
+	res := Result{
+		Detected:   make([]bool, len(faults)),
+		DetectedBy: make([]int, len(faults)),
+	}
+	per, extra := len(faults)/workers, len(faults)%workers
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	detected := make([]int, workers)
+	lo := 0
+	for w := 0; w < workers; w++ {
+		hi := lo + per
+		if w < extra {
+			hi++
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			shard, err := Run(c, pairs, faults[lo:hi], robust)
+			if err != nil {
+				errs[w] = err
+				return
+			}
+			copy(res.Detected[lo:hi], shard.Detected)
+			copy(res.DetectedBy[lo:hi], shard.DetectedBy)
+			detected[w] = shard.NumDetected
+		}(w, lo, hi)
+		lo = hi
+	}
+	wg.Wait()
+	for w := 0; w < workers; w++ {
+		if errs[w] != nil {
+			return Result{}, errs[w]
+		}
+		res.NumDetected += detected[w]
 	}
 	return res, nil
 }

@@ -298,3 +298,40 @@ func BenchmarkFaultSimC880Class(b *testing.B) {
 		}
 	}
 }
+
+func TestRunParallelMatchesRun(t *testing.T) {
+	c, err := bench.Get("adder8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults := paths.EnumerateFaults(c, 0)
+	pairs := randomPairs(c, 100, 7)
+	for _, robust := range []bool{false, true} {
+		want, err := Run(c, pairs, faults, robust)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 3, 16, 1000} {
+			got, err := RunParallel(c, pairs, faults, robust, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.NumDetected != want.NumDetected {
+				t.Errorf("workers=%d robust=%v: NumDetected %d, want %d",
+					workers, robust, got.NumDetected, want.NumDetected)
+			}
+			for i := range faults {
+				if got.Detected[i] != want.Detected[i] || got.DetectedBy[i] != want.DetectedBy[i] {
+					t.Errorf("workers=%d robust=%v fault %d: (%v, %d), want (%v, %d)",
+						workers, robust, i, got.Detected[i], got.DetectedBy[i],
+						want.Detected[i], want.DetectedBy[i])
+				}
+			}
+		}
+	}
+	// A pair/input mismatch must surface from the workers, not be swallowed.
+	bad := []pattern.Pair{pattern.NewPair(1)}
+	if _, err := RunParallel(c, bad, faults, false, 4); err == nil {
+		t.Error("RunParallel with malformed pairs: expected an error")
+	}
+}

@@ -1,8 +1,8 @@
 package harness
 
 import (
-	"context"
 	"fmt"
+	"runtime"
 	"strings"
 	"time"
 
@@ -37,8 +37,7 @@ func runAblation(label string, cfg Config, p bench.Profile, mutate func(*core.Op
 		mutate(&opts)
 	}
 	start := time.Now()
-	g := core.New(c, opts)
-	g.Run(context.Background(), faults)
+	g := cfg.runGenerator(c, opts, faults)
 	row.Time = time.Since(start)
 	st := g.Stats()
 	row.Tested = st.Tested + st.DetectedBySim
@@ -93,6 +92,32 @@ func RunFaultSimAblation(cfg Config) []AblationRow {
 		runAblation("faultsim-every-L", cfg, p, nil),
 		runAblation("faultsim-off", cfg, p, func(o *core.Options) { o.FaultSimInterval = 0 }),
 	}
+}
+
+// RunWorkerAblation sweeps the worker count of the sharded engine on the
+// ablation circuit: the same fault list generated sequentially and sharded
+// across 2..N goroutines, the core-level counterpart of the word-width
+// sweep.  counts defaults to {1, 2, runtime.GOMAXPROCS(0)}; the reported
+// times are wall-clock, so on a multi-core machine the tested/aborted
+// columns should hold steady while time drops.
+func RunWorkerAblation(cfg Config, counts []int) []AblationRow {
+	cfg = cfg.normalize()
+	if len(counts) == 0 {
+		counts = []int{1, 2, runtime.GOMAXPROCS(0)}
+	}
+	p := ablationProfile()
+	var rows []AblationRow
+	seen := make(map[int]bool)
+	for _, n := range counts {
+		if seen[n] {
+			continue // e.g. the default {1, 2, GOMAXPROCS} on a 1- or 2-core host
+		}
+		seen[n] = true
+		workerCfg := cfg
+		workerCfg.Workers = n
+		rows = append(rows, runAblation(fmt.Sprintf("workers=%d", n), workerCfg, p, nil))
+	}
+	return rows
 }
 
 // RunPruningAblation compares generation with and without subpath redundancy
@@ -154,8 +179,7 @@ func RunCoverageEstimate(cfg Config, profileName string, sampleSize int) Coverag
 		sampleSize = 500
 	}
 	start := time.Now()
-	g := core.New(c, cfg.generatorOptions())
-	g.Run(context.Background(), cfg.sampleFaults(c))
+	g := cfg.runGenerator(c, cfg.generatorOptions(), cfg.sampleFaults(c))
 	est.Patterns = g.TestSet().Len()
 	cov, n, err := faultsim.EstimateCoverage(c, g.TestSet().Pairs, sampleSize, cfg.Seed+1,
 		cfg.Mode == sensitize.Robust)

@@ -46,6 +46,10 @@ type Config struct {
 	Seed int64
 	// MaxBacktracks is passed to the generator (0 = default).
 	MaxBacktracks int
+	// Workers shards every generator run across this many goroutines
+	// (core-level parallelism on top of the word-level bit parallelism).
+	// 0 or 1 runs the sequential generator of the paper.
+	Workers int
 }
 
 // DefaultConfig returns the configuration used by cmd/experiments: full-size
@@ -73,7 +77,18 @@ func (cfg Config) normalize() Config {
 	if cfg.Seed == 0 {
 		cfg.Seed = 1995
 	}
+	if cfg.Workers < 1 {
+		cfg.Workers = 1
+	}
 	return cfg
+}
+
+// runGenerator builds a generator and runs it over the faults, sharded
+// across cfg.Workers goroutines (1 = the plain sequential run).
+func (cfg Config) runGenerator(c *circuit.Circuit, opts core.Options, faults []paths.Fault) *core.Generator {
+	g := core.New(c, opts)
+	core.RunSharded(context.Background(), g, faults, cfg.Workers)
+	return g
 }
 
 // circuitFor synthesizes the (possibly scaled) stand-in for a profile.
@@ -183,8 +198,7 @@ func (cfg Config) runATPGRow(p bench.Profile) ATPGRow {
 	row.Targeted = len(faults)
 
 	start := time.Now()
-	g := core.New(c, cfg.generatorOptions())
-	g.Run(context.Background(), faults)
+	g := cfg.runGenerator(c, cfg.generatorOptions(), faults)
 	row.Time = time.Since(start)
 
 	st := g.Stats()
@@ -275,15 +289,13 @@ func (cfg Config) runSpeedupRow(p bench.Profile) SpeedupRow {
 
 	// Bit-parallel run.
 	start := time.Now()
-	gp := core.New(c, cfg.generatorOptions())
-	gp.Run(context.Background(), faults)
+	gp := cfg.runGenerator(c, cfg.generatorOptions(), faults)
 	parallelTotal := time.Since(start)
 	row.AbortedParallel = gp.Stats().Aborted
 
 	// Single-bit run.
 	start = time.Now()
-	gs := core.New(c, cfg.singleBitOptions())
-	gs.Run(context.Background(), faults)
+	gs := cfg.runGenerator(c, cfg.singleBitOptions(), faults)
 	singleTotal := time.Since(start)
 	row.AbortedSingle = gs.Stats().Aborted
 
@@ -405,14 +417,12 @@ func (cfg Config) runCompareRow(p bench.Profile) CompareRow {
 	row.Targeted = len(faults)
 
 	start := time.Now()
-	tip := core.New(c, cfg.generatorOptions())
-	tip.Run(context.Background(), faults)
+	tip := cfg.runGenerator(c, cfg.generatorOptions(), faults)
 	row.TIPTime = time.Since(start)
 	row.TIPTested = tip.Stats().Tested + tip.Stats().DetectedBySim
 
 	start = time.Now()
-	base := core.New(c, cfg.structuralBaselineOptions())
-	base.Run(context.Background(), faults)
+	base := cfg.runGenerator(c, cfg.structuralBaselineOptions(), faults)
 	row.BaselineTime = time.Since(start)
 	row.BaselineTested = base.Stats().Tested + base.Stats().DetectedBySim
 	return row

@@ -132,6 +132,23 @@ func TestAblations(t *testing.T) {
 	if len(prunes) != 2 {
 		t.Fatalf("expected 2 pruning rows, got %d", len(prunes))
 	}
+	workerRows := RunWorkerAblation(cfg, []int{1, 2, 4})
+	if len(workerRows) != 3 {
+		t.Fatalf("expected 3 worker rows, got %d", len(workerRows))
+	}
+	for _, r := range workerRows {
+		if r.Err != nil {
+			t.Errorf("%s: %v", r.Label, r.Err)
+		}
+	}
+	// Sharding must not change what the run achieves, only how fast: the
+	// covered and aborted counts are identical across worker counts.
+	for _, r := range workerRows[1:] {
+		if r.Tested != workerRows[0].Tested || r.Aborted != workerRows[0].Aborted {
+			t.Errorf("%s covers %d/aborts %d, workers=1 covers %d/aborts %d",
+				r.Label, r.Tested, r.Aborted, workerRows[0].Tested, workerRows[0].Aborted)
+		}
+	}
 	text := FormatAblationTable("ablation (test)", append(widths, modes...))
 	if !strings.Contains(text, "L=64") || !strings.Contains(text, "combined") {
 		t.Errorf("formatted ablation table missing content:\n%s", text)

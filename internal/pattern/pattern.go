@@ -173,6 +173,25 @@ func (s *Set) Add(p Pair, target string) {
 // Len returns the number of pairs in the set.
 func (s *Set) Len() int { return len(s.Pairs) }
 
+// Append appends every pair of other (with its target description) to s and
+// returns the index the first appended pair received.  The pairs themselves
+// are shared, not copied; they are treated as immutable after generation.
+func (s *Set) Append(other *Set) int {
+	base := len(s.Pairs)
+	if other == nil {
+		return base
+	}
+	s.Pairs = append(s.Pairs, other.Pairs...)
+	for i := range other.Pairs {
+		target := ""
+		if i < len(other.Targets) {
+			target = other.Targets[i]
+		}
+		s.Targets = append(s.Targets, target)
+	}
+	return base
+}
+
 // Write emits the test set in a simple text format: a header line with the
 // input names, then one "V1 -> V2  # target" line per pair.
 func (s *Set) Write(w io.Writer) error {
