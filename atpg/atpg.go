@@ -74,7 +74,9 @@ type Coverage struct {
 	Redundant int
 	// Aborted counts faults given up on.
 	Aborted int
-	// Patterns is the size of the generated test set.
+	// Patterns is the size of the engine's test set — after compaction when
+	// the engine was built with [WithCompaction], so it can be smaller than
+	// Stats.Patterns, the number of patterns generated.
 	Patterns int
 }
 
@@ -190,7 +192,10 @@ func (e *Engine) Run(ctx context.Context, faults []Fault) ([]Result, error) {
 // so ranging over the stream needs no synchronization.  One caveat of
 // parallel streams: the PatternIndex of a streamed result is worker-local
 // (or -1 for cross-shard simulation drops); indices into the merged test
-// set are only available from [Engine.Run].
+// set are only available from [Engine.Run].  Similarly, with
+// [WithCompaction] the results stream as faults settle — before the
+// compaction pass runs — so streamed indices refer to the uncompacted set;
+// after the stream ends, [Engine.Tests] returns the compacted set.
 func (e *Engine) Stream(ctx context.Context, faults []Fault) iter.Seq[Result] {
 	return func(yield func(Result) bool) {
 		if len(faults) == 0 {
@@ -217,7 +222,10 @@ func (e *Engine) Stream(ctx context.Context, faults []Fault) iter.Seq[Result] {
 					cancel()
 				}
 			}
-			e.gen.Run(runCtx, faults)
+			// Through RunSharded rather than Run directly so the run-level
+			// passes (static compaction of the fresh patterns) apply to
+			// sequential streams too.
+			core.RunSharded(runCtx, e.gen, faults, 1)
 			return
 		}
 
@@ -263,7 +271,7 @@ func (e *Engine) Coverage() Coverage {
 		Detected:  st.Tested + st.DetectedBySim,
 		Redundant: st.Redundant,
 		Aborted:   st.Aborted,
-		Patterns:  st.Patterns,
+		Patterns:  e.gen.TestSet().Len(),
 	}
 }
 

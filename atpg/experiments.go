@@ -94,6 +94,13 @@ func RunWorkerAblation(cfg ExperimentConfig, counts []int) []AblationRow {
 // fault simulation.
 func RunFaultSimAblation(cfg ExperimentConfig) []AblationRow { return harness.RunFaultSimAblation(cfg) }
 
+// RunCompactionAblation compares the test-set size and run time across the
+// static compaction levels (none / reverse-order simulation / full
+// merge+reverse).
+func RunCompactionAblation(cfg ExperimentConfig) []AblationRow {
+	return harness.RunCompactionAblation(cfg)
+}
+
 // RunPruningAblation compares generation with and without subpath
 // redundancy pruning.
 func RunPruningAblation(cfg ExperimentConfig) []AblationRow { return harness.RunPruningAblation(cfg) }

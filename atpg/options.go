@@ -162,3 +162,44 @@ func WithProgress(fn func(Result)) Option {
 		return nil
 	}
 }
+
+// WithCompaction selects the static compaction applied to every run's test
+// set once after generation (and, with several workers, after the
+// deterministic merge — compaction is what claws back the size difference
+// between merged sharded sets and sequential ones):
+//
+//   - CompactNone (the default) leaves the set as generated;
+//   - CompactReverse re-simulates the pairs in reverse generation order and
+//     drops every pair detecting no not-yet-detected fault;
+//   - CompactFull additionally merges compatible pairs first, using the
+//     don't-care information of the unfilled pairs (which the engine then
+//     records automatically alongside the filled ones).
+//
+// Compaction never changes which faults a run detects: the compacted set's
+// coverage over the run's fault list is identical, for any worker count.
+// Pattern indices in Run results refer to the compacted set; Stats records
+// the pairs before/after, merges and simulation drops in Stats.Compaction.
+func WithCompaction(level CompactionLevel) Option {
+	return func(c *engineConfig) error {
+		switch level {
+		case CompactNone, CompactReverse, CompactFull:
+			c.opts.Compaction = level
+			return nil
+		}
+		return fmt.Errorf("atpg: unknown compaction level %d", level)
+	}
+}
+
+// WithXFill selects how the don't-care positions of pairs merged during
+// compaction are filled: [XFillZero] (default), [XFillOne] or
+// [XFillRandom].  It only takes effect together with
+// WithCompaction(CompactFull).
+func WithXFill(f XFill) Option {
+	return func(c *engineConfig) error {
+		if f == nil {
+			return fmt.Errorf("atpg: nil X-fill strategy")
+		}
+		c.opts.CompactionXFill = f
+		return nil
+	}
+}

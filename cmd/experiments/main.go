@@ -33,8 +33,22 @@ func main() {
 		faults    = flag.Int("faults", 0, "override the number of faults sampled per circuit")
 		seed      = flag.Int64("seed", 1995, "fault sampling seed")
 		workers   = flag.Int("workers", 1, "worker goroutines per generator run (0 = one per core)")
+		compactS  = flag.String("compact", "none", "static test-set compaction per run: none, reverse or full")
+		xfill     = flag.String("xfill", "zero", "don't-care fill for merged pairs: zero, one or random")
+		xfillSeed = flag.Int64("xfill-seed", 1995, "seed for -xfill random")
 	)
 	flag.Parse()
+
+	compactLevel, err := atpg.ParseCompaction(*compactS)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	fill, err := atpg.ParseXFill(*xfill, *xfillSeed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
 
 	baseCfg := func(mode atpg.Mode) atpg.ExperimentConfig {
 		cfg := atpg.DefaultExperimentConfig(mode)
@@ -52,6 +66,8 @@ func main() {
 		if cfg.Workers <= 0 {
 			cfg.Workers = runtime.GOMAXPROCS(0)
 		}
+		cfg.Compact = compactLevel
+		cfg.XFill = fill
 		return cfg
 	}
 
@@ -115,6 +131,8 @@ func main() {
 		fmt.Print(atpg.FormatAblationTable("Ablation: subpath redundancy pruning", atpg.RunPruningAblation(cfg)))
 		fmt.Println()
 		fmt.Print(atpg.FormatAblationTable("Ablation: sharded-engine workers", atpg.RunWorkerAblation(cfg, nil)))
+		fmt.Println()
+		fmt.Print(atpg.FormatAblationTable("Ablation: static test-set compaction", atpg.RunCompactionAblation(cfg)))
 		fmt.Println()
 		est := atpg.RunCoverageEstimate(cfg, "s713", 500)
 		if est.Err != nil {

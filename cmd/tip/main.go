@@ -31,6 +31,9 @@ func main() {
 		backtracks  = flag.Int("backtracks", 64, "backtrack limit per fault")
 		noFPTPG     = flag.Bool("no-fptpg", false, "disable fault-parallel generation")
 		noAPTPG     = flag.Bool("no-aptpg", false, "disable alternative-parallel generation")
+		compactStr  = flag.String("compact", "none", "static test-set compaction: none, reverse (reverse-order sim dropping) or full (+ compatible-pair merging)")
+		xfill       = flag.String("xfill", "zero", "don't-care fill for merged pairs: zero, one or random")
+		xfillSeed   = flag.Int64("xfill-seed", 1995, "seed for -xfill random")
 		out         = flag.String("out", "", "write the generated test set to this file")
 		verbose     = flag.Bool("v", false, "print one line per fault")
 	)
@@ -41,6 +44,14 @@ func main() {
 		fail(err)
 	}
 	m, err := atpg.ParseMode(*mode)
+	if err != nil {
+		fail(err)
+	}
+	level, err := atpg.ParseCompaction(*compactStr)
+	if err != nil {
+		fail(err)
+	}
+	fill, err := atpg.ParseXFill(*xfill, *xfillSeed)
 	if err != nil {
 		fail(err)
 	}
@@ -64,6 +75,8 @@ func main() {
 		atpg.WithBacktrackLimit(*backtracks),
 		atpg.WithFaultParallel(!*noFPTPG),
 		atpg.WithAlternativeParallel(!*noAPTPG),
+		atpg.WithCompaction(level),
+		atpg.WithXFill(fill),
 	)
 	if errors.Is(err, atpg.ErrBadWidth) {
 		fail(fmt.Errorf("invalid -width %d: the word width must be between 1 and %d bit levels (%v)",
@@ -89,6 +102,9 @@ func main() {
 	st := e.Stats()
 	fmt.Printf("result: %s\n", st)
 	fmt.Printf("sensitization time: %s, generation time: %s\n", st.SensitizeTime, st.GenerateTime)
+	if level != atpg.CompactNone {
+		fmt.Printf("compaction: %s\n", st.Compaction)
+	}
 
 	if *out != "" {
 		f, err := os.Create(*out)

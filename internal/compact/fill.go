@@ -1,0 +1,76 @@
+package compact
+
+import (
+	"fmt"
+
+	"repro/internal/logic"
+	"repro/internal/pattern"
+)
+
+// Filler turns an X-preserving pair into a fully specified one.  Fillers are
+// applied only after compatible-pair merging: merging needs the don't-care
+// information, filling destroys it.  All fillers keep V1 = V2 at positions
+// where both vectors were unconstrained, so no spurious transitions are
+// introduced (spurious transitions could invalidate robust detections the
+// merge is supposed to preserve).
+type Filler interface {
+	// Fill returns a fully specified copy of p.  Positions already assigned
+	// are never changed.
+	Fill(p pattern.Pair) pattern.Pair
+	// String names the strategy, e.g. "zero" or "random(42)".
+	String() string
+}
+
+// valueFill fills every don't care with one constant value.
+type valueFill struct{ v logic.Value3 }
+
+// ZeroFill returns the filler assigning logic 0 to every don't care, the
+// generator's default fill value.
+func ZeroFill() Filler { return valueFill{logic.Zero3} }
+
+// OneFill returns the filler assigning logic 1 to every don't care.
+func OneFill() Filler { return valueFill{logic.One3} }
+
+func (f valueFill) Fill(p pattern.Pair) pattern.Pair { return p.FillX(f.v) }
+
+func (f valueFill) String() string {
+	if f.v == logic.One3 {
+		return "one"
+	}
+	return "zero"
+}
+
+// randomFill fills don't cares with seed-derived pseudo-random values.  The
+// fill of a pair depends only on the seed, the pair's contents and the
+// position, never on call order, so repeated compactions of the same set are
+// bit-identical.
+type randomFill struct{ seed int64 }
+
+// RandomFill returns the deterministic seeded random filler.
+func RandomFill(seed int64) Filler { return randomFill{seed} }
+
+func (f randomFill) Fill(p pattern.Pair) pattern.Pair {
+	out := p.Clone()
+	// FNV-style hash over the specified bits of the pair, salted by the
+	// seed, so distinct pairs draw distinct fill streams.
+	h := uint64(14695981039346656037) ^ uint64(f.seed)
+	for i := range out.V2 {
+		h = (h ^ uint64(out.V1[i]) ^ uint64(out.V2[i])<<2 ^ uint64(i)<<4) * 1099511628211
+	}
+	for i := range out.V2 {
+		if out.V2[i] == logic.X3 {
+			h = (h ^ uint64(i)) * 1099511628211
+			if (h>>33)&1 == 1 {
+				out.V2[i] = logic.One3
+			} else {
+				out.V2[i] = logic.Zero3
+			}
+		}
+		if out.V1[i] == logic.X3 {
+			out.V1[i] = out.V2[i]
+		}
+	}
+	return out
+}
+
+func (f randomFill) String() string { return fmt.Sprintf("random(%d)", f.seed) }

@@ -1,0 +1,97 @@
+package compact
+
+import (
+	"repro/internal/logic"
+	"repro/internal/pattern"
+)
+
+// bucket is one merged pattern under construction: the positionwise merge of
+// the unfilled forms of its member pairs.
+type bucket struct {
+	// members are the indices of the merged source pairs, ascending.
+	members []int
+	// merged is the combined X-preserving pair: at every position the union
+	// of the members' requirements (all of which are pairwise compatible).
+	merged pattern.Pair
+}
+
+// compatibleVec reports whether two three-valued vectors agree at every
+// position: a specified value is compatible with X and with the same value,
+// and incompatible with the opposite value.  This is the paper's Table 1
+// encoding at work — the merge of two requirements is the bitwise OR of
+// their encodings, and incompatibility is exactly the conflict code (1,1).
+func compatibleVec(a, b []logic.Value3) bool {
+	for i := range a {
+		if a[i].Merge(b[i]).IsConflict() {
+			return false
+		}
+	}
+	return true
+}
+
+// compatible reports whether two test pairs can be merged: both the
+// initialization vectors and the propagation vectors must be conflict-free
+// positionwise.  V1 and V2 are checked independently — an input may be
+// constrained by one pair's first vector and the other pair's second.
+func compatible(a, b pattern.Pair) bool {
+	return compatibleVec(a.V1, b.V1) && compatibleVec(a.V2, b.V2)
+}
+
+// mergeInto folds pair p into the bucket's merged pair (which must be
+// compatible with p).
+func (b *bucket) mergeInto(p pattern.Pair, idx int) {
+	for i := range b.merged.V1 {
+		b.merged.V1[i] = b.merged.V1[i].Merge(p.V1[i])
+		b.merged.V2[i] = b.merged.V2[i].Merge(p.V2[i])
+	}
+	b.members = append(b.members, idx)
+}
+
+// affinity scores how well pair p fits a bucket: the number of positions
+// where both sides already demand the same assigned value.  Packing a pair
+// into the bucket it overlaps most leaves the other buckets less
+// constrained, which measurably beats plain first-fit on the ISCAS-class
+// sets.
+func affinity(b *bucket, p pattern.Pair) int {
+	n := 0
+	for i := range p.V1 {
+		if p.V1[i].IsAssigned() && b.merged.V1[i] == p.V1[i] {
+			n++
+		}
+		if p.V2[i].IsAssigned() && b.merged.V2[i] == p.V2[i] {
+			n++
+		}
+	}
+	return n
+}
+
+// greedyMerge partitions the set's pairs into buckets of mutually
+// compatible unfilled forms: pairs are scanned in generation order and each
+// joins the compatible bucket it has the highest affinity with (ties to the
+// earliest bucket), or founds a new one.  The result is maximal: any two
+// final buckets are pairwise incompatible (a bucket only accumulates
+// requirements, so a pair rejected by a bucket's partial state is also
+// rejected by its final state), which is what lets compaction converge — a
+// second pass finds nothing left to merge.
+func greedyMerge(set *pattern.Set) []*bucket {
+	var buckets []*bucket
+	for i := range set.Pairs {
+		u := set.UnfilledAt(i)
+		var best *bucket
+		bestScore := -1
+		for _, b := range buckets {
+			if !compatible(b.merged, u) {
+				continue
+			}
+			if score := affinity(b, u); score > bestScore {
+				best, bestScore = b, score
+			}
+		}
+		if best != nil {
+			best.mergeInto(u, i)
+		} else {
+			buckets = append(buckets, &bucket{members: []int{i}, merged: u.Clone()})
+		}
+	}
+	return buckets
+}

@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/compact"
 	"repro/internal/logic"
 	"repro/internal/paths"
 	"repro/internal/pattern"
@@ -140,6 +141,19 @@ type Options struct {
 	VerifyTests bool
 	// FillValue is used for primary inputs the test does not constrain.
 	FillValue logic.Value3
+	// Compaction selects the static compaction pass applied to a run's
+	// freshly generated patterns after the (sharded) merge: compatible-pair
+	// merging and/or reverse-order fault simulation (see internal/compact).
+	// Compaction never changes which faults of the run are detected.
+	Compaction compact.Level
+	// CompactionXFill fills the don't-care positions of merged pairs during
+	// compaction; nil selects compact.ZeroFill().
+	CompactionXFill compact.Filler
+	// EmitUnfilled records the X-preserving form of every generated pattern
+	// alongside the filled one (pattern.Set.Unfilled).  Merge-level
+	// compaction needs it, so normalize turns it on when Compaction is
+	// compact.Full.
+	EmitUnfilled bool
 }
 
 // DefaultOptions returns the configuration used by the experiments: robust
@@ -192,6 +206,12 @@ func (o Options) normalize() Options {
 	if !o.FillValue.IsAssigned() {
 		o.FillValue = logic.Zero3
 	}
+	if o.Compaction == compact.Full {
+		o.EmitUnfilled = true
+	}
+	if o.Compaction != compact.None && o.CompactionXFill == nil {
+		o.CompactionXFill = compact.ZeroFill()
+	}
 	return o
 }
 
@@ -239,6 +259,11 @@ type Stats struct {
 	Backtracks   int
 	Implications int
 
+	// Compaction summarizes the static compaction passes of the run(s):
+	// pairs before/after, compatible merges, reverse-order simulation drops.
+	// All counters stay zero while Options.Compaction is compact.None.
+	Compaction compact.Stats
+
 	// SensitizeTime is the time spent computing sensitization conditions
 	// (the t_sens column of Tables 5 and 6); GenerateTime is the rest of the
 	// generation time.
@@ -265,6 +290,8 @@ func (s *Stats) Add(o Stats) {
 	s.Decisions += o.Decisions
 	s.Backtracks += o.Backtracks
 	s.Implications += o.Implications
+
+	s.Compaction.Add(o.Compaction)
 
 	s.SensitizeTime += o.SensitizeTime
 	s.GenerateTime += o.GenerateTime

@@ -604,49 +604,58 @@ func (g *Generator) enumWord(idx int) logic.Word7 {
 // ---------------------------------------------------------------------------
 
 // extractPattern builds the two-vector test from the primary input
-// assignments of the given bit level.
-func (g *Generator) extractPattern(r *rec, level int) pattern.Pair {
+// assignments of the given bit level.  It returns both the filled test and
+// its X-preserving (pre-fill) form: inputs the justification never
+// constrained stay X in the raw pair, which is what static compaction
+// merges on.  Applying FillX(FillValue) to the raw pair reproduces the
+// filled pair exactly.
+func (g *Generator) extractPattern(r *rec, level int) (filled, raw pattern.Pair) {
 	inputs := g.c.Inputs()
-	p := pattern.NewPair(len(inputs))
+	raw = pattern.NewPair(len(inputs))
 	for i, in := range inputs {
 		v7 := g.st.PIValue(in).Get(level)
 		final := v7.Final()
 		if !final.IsAssigned() {
 			continue
 		}
-		p.V2[i] = final
+		raw.V2[i] = final
 		switch {
 		case v7.StableBit():
-			p.V1[i] = final
+			raw.V1[i] = final
 		case v7.InstableBit():
-			p.V1[i] = final.Not()
-		default:
-			p.V1[i] = final
+			raw.V1[i] = final.Not()
 		}
+		// Otherwise only the final value is constrained (the weaker
+		// final-only assignment of nonrobust generation): the first vector
+		// stays X and the fill keeps it equal to V2.
 	}
 	if g.opts.Mode == sensitize.Nonrobust {
 		// Nonrobust generation only fixes final values; the transition is
 		// launched by flipping the path input in the first vector.
 		for i, in := range inputs {
 			if in == r.fault.Path.Input() {
-				p.V2[i] = r.fault.Transition.FinalValue3()
-				p.V1[i] = p.V2[i].Not()
+				raw.V2[i] = r.fault.Transition.FinalValue3()
+				raw.V1[i] = raw.V2[i].Not()
 			}
 		}
 	}
-	return p.FillX(g.opts.FillValue)
+	return raw.FillX(g.opts.FillValue), raw
 }
 
 // emitTest extracts, verifies and records a test for the fault from the
 // given bit level.  It returns false (and leaves the fault pending) when the
 // verification rejects the pattern.
 func (g *Generator) emitTest(r *rec, level int, phase Phase) bool {
-	p := g.extractPattern(r, level)
+	p, raw := g.extractPattern(r, level)
 	if g.opts.VerifyTests && !g.verifyPattern(r.fault, p) {
 		return false
 	}
 	idx := g.testSet.Len()
-	g.testSet.Add(p, r.fault.Describe(g.c))
+	if g.opts.EmitUnfilled {
+		g.testSet.AddUnfilled(p, raw, r.fault.Describe(g.c))
+	} else {
+		g.testSet.Add(p, r.fault.Describe(g.c))
+	}
 	if g.OnPattern != nil {
 		g.OnPattern(p)
 	}

@@ -29,14 +29,26 @@ import (
 // used.  Statistics are summed over the workers, so the time fields report
 // aggregate CPU time rather than wall-clock time.
 //
+// When Options.Compaction is enabled, the merged test set of the run is
+// statically compacted once after the deterministic merge (reverse-order
+// fault simulation and, at compact.Full, compatible-pair merging), and the
+// PatternIndex of every covered fault is remapped onto the compacted set.
+// Compaction applies equally to the workers <= 1 path, so the sequential
+// and sharded engines stay comparable.
+//
 // With workers <= 1 (or a single fault) the call is exactly master.Run.
 // master must not be used concurrently with RunSharded.
 func RunSharded(ctx context.Context, master *Generator, faults []paths.Fault, workers int) []FaultResult {
 	if workers > len(faults) {
 		workers = len(faults)
 	}
+	base := master.testSet.Len()
 	if workers <= 1 {
-		return master.Run(ctx, faults)
+		results := master.Run(ctx, faults)
+		if ctx == nil || ctx.Err() == nil {
+			master.compactRun(faults, results, base)
+		}
+		return results
 	}
 	if ctx == nil {
 		ctx = context.Background()
@@ -108,6 +120,13 @@ func RunSharded(ctx context.Context, master *Generator, faults []paths.Fault, wo
 				results[idx].PatternIndex = sim.DetectedBy[i]
 			}
 		}
+	}
+
+	// Static compaction of the merged set, once, after the deterministic
+	// merge (skipped when the run was cut short: a canceled run should
+	// return promptly, and its test set is not final anyway).
+	if ctx.Err() == nil {
+		master.compactRun(faults, results, base)
 	}
 	return results
 }

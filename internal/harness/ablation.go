@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/compact"
 	"repro/internal/core"
 	"repro/internal/faultsim"
 	"repro/internal/sensitize"
@@ -42,7 +43,9 @@ func runAblation(label string, cfg Config, p bench.Profile, mutate func(*core.Op
 	st := g.Stats()
 	row.Tested = st.Tested + st.DetectedBySim
 	row.Aborted = st.Aborted
-	row.Patterns = st.Patterns
+	// The test-set size, which compaction can make smaller than the number
+	// of generated patterns (st.Patterns).
+	row.Patterns = g.TestSet().Len()
 	return row
 }
 
@@ -116,6 +119,24 @@ func RunWorkerAblation(cfg Config, counts []int) []AblationRow {
 		workerCfg := cfg
 		workerCfg.Workers = n
 		rows = append(rows, runAblation(fmt.Sprintf("workers=%d", n), workerCfg, p, nil))
+	}
+	return rows
+}
+
+// RunCompactionAblation compares the test-set size and run time without
+// compaction, with reverse-order simulation dropping only, and with full
+// (merge + reverse-order) compaction.  Tested/aborted counts must hold
+// steady across the rows — compaction never changes what is detected —
+// while the pattern counts shrink.
+func RunCompactionAblation(cfg Config) []AblationRow {
+	cfg = cfg.normalize()
+	p := ablationProfile()
+	var rows []AblationRow
+	for _, level := range []compact.Level{compact.None, compact.Reverse, compact.Full} {
+		l := level
+		levelCfg := cfg
+		levelCfg.Compact = l
+		rows = append(rows, runAblation(fmt.Sprintf("compact=%s", l), levelCfg, p, nil))
 	}
 	return rows
 }

@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/circuit"
+	"repro/internal/compact"
 	"repro/internal/core"
 	"repro/internal/logic"
 	"repro/internal/paths"
@@ -50,6 +51,12 @@ type Config struct {
 	// (core-level parallelism on top of the word-level bit parallelism).
 	// 0 or 1 runs the sequential generator of the paper.
 	Workers int
+	// Compact selects the static test-set compaction applied after every
+	// generator run (compact.None disables it, the default).
+	Compact compact.Level
+	// XFill fills the don't cares of pairs merged during compaction; nil
+	// selects compact.ZeroFill().
+	XFill compact.Filler
 }
 
 // DefaultConfig returns the configuration used by cmd/experiments: full-size
@@ -116,6 +123,8 @@ func (cfg Config) generatorOptions() core.Options {
 	if cfg.MaxBacktracks > 0 {
 		o.MaxBacktracks = cfg.MaxBacktracks
 	}
+	o.Compaction = cfg.Compact
+	o.CompactionXFill = cfg.XFill
 	return o
 }
 

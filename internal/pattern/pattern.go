@@ -153,6 +153,13 @@ type Set struct {
 	// Targets optionally records, per pair, a description of the fault the
 	// pair was generated for (informational only).
 	Targets []string
+	// Unfilled, when non-nil, holds one X-preserving pair per test pair: the
+	// pair as emitted by the generator before don't-care filling, with every
+	// input the test does not constrain left at X.  It is the raw material of
+	// static compaction (compatible pairs can only be recognized while the
+	// don't-care information is still present).  Either nil (not tracked) or
+	// exactly len(Pairs) long.
+	Unfilled []Pair
 }
 
 // NewSet returns an empty test set for the circuit.
@@ -168,18 +175,59 @@ func NewSet(c *circuit.Circuit) *Set {
 func (s *Set) Add(p Pair, target string) {
 	s.Pairs = append(s.Pairs, p)
 	s.Targets = append(s.Targets, target)
+	if s.Unfilled != nil {
+		// A pair added without an explicit unfilled form is its own: every
+		// value is treated as specified.
+		s.Unfilled = append(s.Unfilled, p)
+	}
+}
+
+// AddUnfilled appends a pair together with its X-preserving (pre-fill) form
+// and switches the set to unfilled tracking if it was not tracking yet.
+func (s *Set) AddUnfilled(filled, unfilled Pair, target string) {
+	s.trackUnfilled()
+	s.Pairs = append(s.Pairs, filled)
+	s.Targets = append(s.Targets, target)
+	s.Unfilled = append(s.Unfilled, unfilled)
+}
+
+// trackUnfilled switches the set to unfilled tracking, backfilling earlier
+// pairs with themselves (a fully specified pair is its own unfilled form).
+func (s *Set) trackUnfilled() {
+	if s.Unfilled != nil {
+		return
+	}
+	s.Unfilled = make([]Pair, len(s.Pairs))
+	copy(s.Unfilled, s.Pairs)
+}
+
+// UnfilledAt returns the X-preserving form of pair i: the recorded unfilled
+// pair when the set tracks them, and the (fully specified) pair itself
+// otherwise.
+func (s *Set) UnfilledAt(i int) Pair {
+	if s.Unfilled != nil && i < len(s.Unfilled) {
+		return s.Unfilled[i]
+	}
+	return s.Pairs[i]
 }
 
 // Len returns the number of pairs in the set.
 func (s *Set) Len() int { return len(s.Pairs) }
 
-// Append appends every pair of other (with its target description) to s and
-// returns the index the first appended pair received.  The pairs themselves
-// are shared, not copied; they are treated as immutable after generation.
+// Append appends every pair of other (with its target description and, when
+// tracked by either set, its unfilled form) to s and returns the index the
+// first appended pair received.  The pairs themselves are shared, not
+// copied; they are treated as immutable after generation.
 func (s *Set) Append(other *Set) int {
 	base := len(s.Pairs)
 	if other == nil {
 		return base
+	}
+	if s.Unfilled != nil || other.Unfilled != nil {
+		s.trackUnfilled()
+		for i := range other.Pairs {
+			s.Unfilled = append(s.Unfilled, other.UnfilledAt(i))
+		}
 	}
 	s.Pairs = append(s.Pairs, other.Pairs...)
 	for i := range other.Pairs {
@@ -192,23 +240,93 @@ func (s *Set) Append(other *Set) int {
 	return base
 }
 
-// Write emits the test set in a simple text format: a header line with the
-// input names, then one "V1 -> V2  # target" line per pair.
+// Slice returns a new set holding the pairs from index from on (sharing the
+// underlying pairs, which are immutable after generation).
+func (s *Set) Slice(from int) *Set {
+	if from < 0 {
+		from = 0
+	}
+	if from > len(s.Pairs) {
+		from = len(s.Pairs)
+	}
+	out := &Set{InputNames: s.InputNames}
+	out.Pairs = append(out.Pairs, s.Pairs[from:]...)
+	for i := from; i < len(s.Pairs); i++ {
+		target := ""
+		if i < len(s.Targets) {
+			target = s.Targets[i]
+		}
+		out.Targets = append(out.Targets, target)
+	}
+	if s.Unfilled != nil {
+		out.Unfilled = append([]Pair{}, s.Unfilled[from:]...)
+	}
+	return out
+}
+
+// Truncate shortens the set to its first n pairs.
+func (s *Set) Truncate(n int) {
+	if n < 0 {
+		n = 0
+	}
+	if n >= len(s.Pairs) {
+		return
+	}
+	s.Pairs = s.Pairs[:n]
+	if n < len(s.Targets) {
+		s.Targets = s.Targets[:n]
+	}
+	if s.Unfilled != nil && n < len(s.Unfilled) {
+		s.Unfilled = s.Unfilled[:n]
+	}
+}
+
+// Write emits the test set in a simple deterministic text format: a header
+// line with the input names (omitted when there are none), then one
+// "V1 -> V2  # target" line per pair, in pair order, each followed by a
+// "#~ unfilled:" annotation when the set tracks an unfilled form that
+// differs from the pair.  The output depends only on the set's contents, so
+// equal sets always serialize to identical bytes.
 func (s *Set) Write(w io.Writer) error {
 	bw := bufio.NewWriter(w)
-	fmt.Fprintf(bw, "# inputs: %s\n", strings.Join(s.InputNames, " "))
+	if len(s.InputNames) > 0 {
+		fmt.Fprintf(bw, "# inputs: %s\n", strings.Join(s.InputNames, " "))
+	}
 	for i, p := range s.Pairs {
 		target := ""
 		if i < len(s.Targets) && s.Targets[i] != "" {
-			target = "  # " + s.Targets[i]
+			target = "  # " + sanitizeTarget(s.Targets[i])
 		}
 		fmt.Fprintf(bw, "%s%s\n", p.String(), target)
+		if s.Unfilled != nil && i < len(s.Unfilled) && !samePair(s.Unfilled[i], p) {
+			fmt.Fprintf(bw, "#~ unfilled: %s\n", s.Unfilled[i].String())
+		}
 	}
 	return bw.Flush()
 }
 
+// sanitizeTarget makes a target description safe for the one-line format.
+func sanitizeTarget(t string) string {
+	t = strings.ReplaceAll(t, "\n", " ")
+	return strings.ReplaceAll(t, "\r", " ")
+}
+
+// samePair reports whether two pairs carry identical vectors.
+func samePair(a, b Pair) bool {
+	if len(a.V1) != len(b.V1) || len(a.V2) != len(b.V2) {
+		return false
+	}
+	for i := range a.V1 {
+		if a.V1[i] != b.V1[i] || a.V2[i] != b.V2[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // Read parses a test set written by Write.  Input names are restored from
-// the header when present.
+// the header and unfilled forms from their "#~ unfilled:" annotations when
+// present.
 func Read(r io.Reader) (*Set, error) {
 	s := &Set{}
 	scanner := bufio.NewScanner(r)
@@ -221,8 +339,19 @@ func Read(r io.Reader) (*Set, error) {
 			continue
 		}
 		if strings.HasPrefix(line, "#") {
-			if strings.HasPrefix(line, "# inputs:") && s.InputNames == nil {
+			switch {
+			case strings.HasPrefix(line, "# inputs:") && s.InputNames == nil:
 				s.InputNames = strings.Fields(strings.TrimPrefix(line, "# inputs:"))
+			case strings.HasPrefix(line, "#~ unfilled:"):
+				if len(s.Pairs) == 0 {
+					return nil, fmt.Errorf("line %d: unfilled annotation before any pair", lineNo)
+				}
+				u, err := ParsePair(strings.TrimSpace(strings.TrimPrefix(line, "#~ unfilled:")))
+				if err != nil {
+					return nil, fmt.Errorf("line %d: %w", lineNo, err)
+				}
+				s.trackUnfilled()
+				s.Unfilled[len(s.Pairs)-1] = u
 			}
 			continue
 		}
@@ -237,6 +366,9 @@ func Read(r io.Reader) (*Set, error) {
 		}
 		s.Pairs = append(s.Pairs, p)
 		s.Targets = append(s.Targets, target)
+		if s.Unfilled != nil {
+			s.Unfilled = append(s.Unfilled, p)
+		}
 	}
 	if err := scanner.Err(); err != nil {
 		return nil, err

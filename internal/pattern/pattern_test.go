@@ -122,3 +122,120 @@ func TestSetWriteRead(t *testing.T) {
 		t.Error("malformed set should fail to parse")
 	}
 }
+
+// TestWriteReadRoundTripUnfilled checks the full round trip of a set with
+// unfilled tracking, as produced by merged/compacted test sets: pair order,
+// target association and unfilled annotations must all survive, and the
+// serialization must be deterministic.
+func TestWriteReadRoundTripUnfilled(t *testing.T) {
+	s := &Set{InputNames: []string{"a", "b", "c"}}
+	p1, _ := ParsePair("010 -> 011")
+	u1, _ := ParsePair("x1x -> x11")
+	p2, _ := ParsePair("111 -> 101")
+	s.AddUnfilled(p1, u1, "fault A + fault B")
+	s.Add(p2, "fault C")
+
+	text := s.String()
+	if !strings.Contains(text, "#~ unfilled: x1x -> x11") {
+		t.Fatalf("unfilled annotation missing:\n%s", text)
+	}
+	if text != s.String() {
+		t.Error("Write is not deterministic")
+	}
+
+	back, err := Read(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 2 {
+		t.Fatalf("read back %d pairs", back.Len())
+	}
+	if back.Targets[0] != "fault A + fault B" || back.Targets[1] != "fault C" {
+		t.Errorf("target ordering lost: %v", back.Targets)
+	}
+	if back.UnfilledAt(0).String() != u1.String() {
+		t.Errorf("unfilled form lost: %q", back.UnfilledAt(0).String())
+	}
+	if back.UnfilledAt(1).String() != p2.String() {
+		t.Errorf("fully specified pair's unfilled form should be itself: %q", back.UnfilledAt(1).String())
+	}
+	// Second round trip must be byte-identical (deterministic output).
+	if back.String() != text {
+		t.Errorf("round trip not stable:\n%s\nvs\n%s", back.String(), text)
+	}
+}
+
+// TestAppendKeepsUnfilled checks that Append propagates unfilled forms when
+// either side tracks them (the sharded merge path).
+func TestAppendKeepsUnfilled(t *testing.T) {
+	p1, _ := ParsePair("00 -> 01")
+	u1, _ := ParsePair("x0 -> x1")
+	p2, _ := ParsePair("11 -> 10")
+
+	a := &Set{}
+	a.Add(p2, "plain")
+	b := &Set{}
+	b.AddUnfilled(p1, u1, "tracked")
+
+	base := a.Append(b)
+	if base != 1 || a.Len() != 2 {
+		t.Fatalf("Append base=%d len=%d", base, a.Len())
+	}
+	if a.Unfilled == nil {
+		t.Fatal("Append dropped unfilled tracking")
+	}
+	if a.UnfilledAt(0).String() != p2.String() {
+		t.Errorf("backfilled unfilled form wrong: %q", a.UnfilledAt(0).String())
+	}
+	if a.UnfilledAt(1).String() != u1.String() {
+		t.Errorf("appended unfilled form wrong: %q", a.UnfilledAt(1).String())
+	}
+	if a.Targets[1] != "tracked" {
+		t.Errorf("target lost in Append: %v", a.Targets)
+	}
+}
+
+// TestSliceTruncate checks the window operations compaction splices with.
+func TestSliceTruncate(t *testing.T) {
+	s := &Set{InputNames: []string{"a", "b"}}
+	for i := 0; i < 4; i++ {
+		p, _ := ParsePair("01 -> 10")
+		s.AddUnfilled(p, p, string(rune('a'+i)))
+	}
+	w := s.Slice(2)
+	if w.Len() != 2 || w.Targets[0] != "c" || len(w.Unfilled) != 2 {
+		t.Fatalf("Slice(2): len=%d targets=%v unfilled=%d", w.Len(), w.Targets, len(w.Unfilled))
+	}
+	if w.InputNames[0] != "a" {
+		t.Error("Slice lost input names")
+	}
+	s.Truncate(1)
+	if s.Len() != 1 || len(s.Targets) != 1 || len(s.Unfilled) != 1 {
+		t.Fatalf("Truncate(1): len=%d targets=%d unfilled=%d", s.Len(), len(s.Targets), len(s.Unfilled))
+	}
+	s.Truncate(5) // no-op beyond length
+	if s.Len() != 1 {
+		t.Error("Truncate beyond length changed the set")
+	}
+}
+
+// TestWriteNoHeaderWithoutNames checks that a set without input names emits
+// no header (so Write/Read round-trips cleanly).
+func TestWriteNoHeaderWithoutNames(t *testing.T) {
+	s := &Set{}
+	p, _ := ParsePair("0 -> 1")
+	s.Add(p, "")
+	if strings.Contains(s.String(), "# inputs") {
+		t.Errorf("unexpected header: %q", s.String())
+	}
+	back, err := Read(strings.NewReader(s.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.InputNames != nil {
+		t.Errorf("InputNames should stay nil, got %v", back.InputNames)
+	}
+	if back.String() != s.String() {
+		t.Error("round trip differs")
+	}
+}
