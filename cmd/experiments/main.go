@@ -36,6 +36,8 @@ func main() {
 		compactS  = flag.String("compact", "none", "static test-set compaction per run: none, reverse or full")
 		xfill     = flag.String("xfill", "zero", "don't-care fill for merged pairs: zero, one or random")
 		xfillSeed = flag.Int64("xfill-seed", 1995, "seed for -xfill random")
+		cpuprof   = flag.String("cpuprofile", "", "write a pprof CPU profile of the selected runs to this file")
+		memprof   = flag.String("memprofile", "", "write a pprof heap profile (taken at exit) to this file")
 	)
 	flag.Parse()
 
@@ -71,9 +73,12 @@ func main() {
 		return cfg
 	}
 
-	ran := false
+	if *table == 0 && !*all && !*summary && !*ablations {
+		fmt.Fprintln(os.Stderr, "experiments: nothing to do; use -table N, -all, -summary or -ablations")
+		os.Exit(1)
+	}
+
 	runTable := func(n int) {
-		ran = true
 		switch n {
 		case 3:
 			fmt.Print(atpg.FormatATPGTable("Table 3: robust ATPG for the ISCAS85-class circuits",
@@ -100,50 +105,58 @@ func main() {
 		fmt.Println()
 	}
 
-	if *table != 0 {
-		runTable(*table)
-	}
-	if *all {
-		for n := 3; n <= 8; n++ {
-			runTable(n)
+	// runSelected executes the tables, summary and ablations chosen on the
+	// command line; the pprof profile below wraps all of it.
+	runSelected := func() {
+		if *table != 0 {
+			runTable(*table)
+		}
+		if *all {
+			for n := 3; n <= 8; n++ {
+				runTable(n)
+			}
+		}
+		if *summary {
+			rows5 := atpg.RunTable5(baseCfg(atpg.Robust))
+			avg5, max5 := atpg.SpeedupSummary(rows5)
+			rows6 := atpg.RunTable6(baseCfg(atpg.Nonrobust))
+			avg6, max6 := atpg.SpeedupSummary(rows6)
+			fmt.Println("Speed-up summary (paper: average about five, maximum up to nine):")
+			fmt.Printf("  robust    (Table 5): average %.1fx, maximum %.1fx\n", avg5, max5)
+			fmt.Printf("  nonrobust (Table 6): average %.1fx, maximum %.1fx\n", avg6, max6)
+			fmt.Println()
+		}
+		if *ablations {
+			cfg := baseCfg(atpg.Nonrobust)
+			fmt.Print(atpg.FormatAblationTable("Ablation: word width L", atpg.RunWordWidthAblation(cfg, nil)))
+			fmt.Println()
+			fmt.Print(atpg.FormatAblationTable("Ablation: FPTPG / APTPG / combined", atpg.RunModeAblation(cfg)))
+			fmt.Println()
+			fmt.Print(atpg.FormatAblationTable("Ablation: interleaved fault simulation", atpg.RunFaultSimAblation(cfg)))
+			fmt.Println()
+			fmt.Print(atpg.FormatAblationTable("Ablation: subpath redundancy pruning", atpg.RunPruningAblation(cfg)))
+			fmt.Println()
+			fmt.Print(atpg.FormatAblationTable("Ablation: sharded-engine workers", atpg.RunWorkerAblation(cfg, nil)))
+			fmt.Println()
+			fmt.Print(atpg.FormatAblationTable("Ablation: static test-set compaction", atpg.RunCompactionAblation(cfg)))
+			fmt.Println()
+			est := atpg.RunCoverageEstimate(cfg, "s713", 500)
+			if est.Err != nil {
+				fmt.Fprintf(os.Stderr, "coverage estimate: %v\n", est.Err)
+			} else {
+				fmt.Printf("Coverage estimate (NEST-style, %s): %d patterns, %.1f%% of %d sampled faults covered\n",
+					est.Circuit, est.Patterns, est.Estimated*100, est.Sampled)
+			}
 		}
 	}
-	if *summary {
-		ran = true
-		rows5 := atpg.RunTable5(baseCfg(atpg.Robust))
-		avg5, max5 := atpg.SpeedupSummary(rows5)
-		rows6 := atpg.RunTable6(baseCfg(atpg.Nonrobust))
-		avg6, max6 := atpg.SpeedupSummary(rows6)
-		fmt.Println("Speed-up summary (paper: average about five, maximum up to nine):")
-		fmt.Printf("  robust    (Table 5): average %.1fx, maximum %.1fx\n", avg5, max5)
-		fmt.Printf("  nonrobust (Table 6): average %.1fx, maximum %.1fx\n", avg6, max6)
-		fmt.Println()
-	}
-	if *ablations {
-		ran = true
-		cfg := baseCfg(atpg.Nonrobust)
-		fmt.Print(atpg.FormatAblationTable("Ablation: word width L", atpg.RunWordWidthAblation(cfg, nil)))
-		fmt.Println()
-		fmt.Print(atpg.FormatAblationTable("Ablation: FPTPG / APTPG / combined", atpg.RunModeAblation(cfg)))
-		fmt.Println()
-		fmt.Print(atpg.FormatAblationTable("Ablation: interleaved fault simulation", atpg.RunFaultSimAblation(cfg)))
-		fmt.Println()
-		fmt.Print(atpg.FormatAblationTable("Ablation: subpath redundancy pruning", atpg.RunPruningAblation(cfg)))
-		fmt.Println()
-		fmt.Print(atpg.FormatAblationTable("Ablation: sharded-engine workers", atpg.RunWorkerAblation(cfg, nil)))
-		fmt.Println()
-		fmt.Print(atpg.FormatAblationTable("Ablation: static test-set compaction", atpg.RunCompactionAblation(cfg)))
-		fmt.Println()
-		est := atpg.RunCoverageEstimate(cfg, "s713", 500)
-		if est.Err != nil {
-			fmt.Fprintf(os.Stderr, "coverage estimate: %v\n", est.Err)
-		} else {
-			fmt.Printf("Coverage estimate (NEST-style, %s): %d patterns, %.1f%% of %d sampled faults covered\n",
-				est.Circuit, est.Patterns, est.Estimated*100, est.Sampled)
-		}
-	}
-	if !ran {
-		fmt.Fprintln(os.Stderr, "experiments: nothing to do; use -table N, -all, -summary or -ablations")
+
+	// The profile covers every table, summary and ablation selected above.
+	prof := atpg.ExperimentConfig{CPUProfile: *cpuprof, MemProfile: *memprof}
+	if err := prof.Profiled(func() error {
+		runSelected()
+		return nil
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }

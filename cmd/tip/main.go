@@ -36,6 +36,8 @@ func main() {
 		xfillSeed   = flag.Int64("xfill-seed", 1995, "seed for -xfill random")
 		out         = flag.String("out", "", "write the generated test set to this file")
 		verbose     = flag.Bool("v", false, "print one line per fault")
+		cpuprofile  = flag.String("cpuprofile", "", "write a pprof CPU profile of the generation run to this file")
+		memprofile  = flag.String("memprofile", "", "write a pprof heap profile (taken after the run) to this file")
 	)
 	flag.Parse()
 
@@ -89,8 +91,13 @@ func main() {
 		fmt.Printf("workers: %d\n", e.Workers())
 	}
 
-	results, err := e.Run(context.Background(), faults)
-	if err != nil {
+	var results []atpg.Result
+	profiled := atpg.ExperimentConfig{CPUProfile: *cpuprofile, MemProfile: *memprofile}
+	if err := profiled.Profiled(func() error {
+		var runErr error
+		results, runErr = e.Run(context.Background(), faults)
+		return runErr
+	}); err != nil {
 		fail(err)
 	}
 

@@ -135,6 +135,13 @@ type Options struct {
 	// for cheaper individual implications; 0 uses the implication engine's
 	// default.
 	MaxImplySweeps int
+	// FullSweepImplic is a debug option selecting the original full-sweep
+	// implication engine (from-scratch forward/backward sweeps on every
+	// Imply, whole-circuit ForwardSim, rebuild-based backtracking) instead
+	// of the event-driven incremental engine with its assignment trail.  It
+	// is retained as the oracle the incremental engine is validated against
+	// (see equiv tests); production runs leave it off.
+	FullSweepImplic bool
 	// VerifyTests re-simulates every generated pattern and downgrades the
 	// fault to Aborted if the pattern does not actually detect it.  Enabled
 	// by default; it is cheap and guards against generator bugs.

@@ -87,6 +87,10 @@ func New(c *circuit.Circuit, opts Options) *Generator {
 		g.st.MaxSweeps = opts.MaxImplySweeps
 		g.pruneSt.MaxSweeps = opts.MaxImplySweeps
 	}
+	if opts.FullSweepImplic {
+		g.st.FullSweep = true
+		g.pruneSt.FullSweep = true
+	}
 	return g
 }
 
@@ -397,6 +401,10 @@ func (g *Generator) runGroup(ctx context.Context, batch []*rec) []*rec {
 
 // findObjective returns a primary input assignment helping to justify some
 // requirement that is still unjustified at the given bit level.
+//
+// Unjustified returns a scratch slice owned by the implication state; it is
+// only iterated here (Backtrace does not call back into Unjustified), so the
+// aliasing is safe, but the slice must not be retained past this loop.
 func (g *Generator) findObjective(level int) (backtrace.Objective, bool) {
 	for _, net := range g.st.Unjustified(level) {
 		want := g.st.Requirement(net).Get(level)
@@ -410,6 +418,9 @@ func (g *Generator) findObjective(level int) (backtrace.Objective, bool) {
 // findObjectives collects up to max distinct primary input objectives from
 // the unjustified requirements of the given bit level; APTPG enumerates all
 // their value combinations at once.
+//
+// As in findObjective, the slice returned by Unjustified is the implication
+// state's scratch buffer and is not retained past the loop.
 func (g *Generator) findObjectives(level, max int) []backtrace.Objective {
 	var objs []backtrace.Objective
 	seen := make(map[circuit.NetID]bool)
@@ -475,6 +486,12 @@ func (g *Generator) runAPTPG(ctx context.Context, r *rec) {
 	deadMask := uint64(0)
 	sawStuck := false
 
+	// The incremental engine backtracks over the assignment trail: every
+	// decision opens a frame (implic.State.Assign) whose Undo restores the
+	// exact pre-decision closure and simulation.  The full-sweep oracle has
+	// no trail and rebuilds the remaining decisions from scratch instead.
+	useTrail := !g.opts.FullSweepImplic
+
 	rebuild := func() {
 		g.st.ClearPI(logic.AllLevels)
 		g.st.AssignPI(pathIn, launch, active)
@@ -521,13 +538,23 @@ func (g *Generator) runAPTPG(ctx context.Context, r *rec) {
 			for len(decisions) > 0 {
 				last := &decisions[len(decisions)-1]
 				if !last.enumerated && !last.flipped {
+					if useTrail {
+						g.st.Undo()
+					}
 					last.flipped = true
 					last.value = last.value.Not()
+					if useTrail {
+						g.st.Assign()
+						g.st.AssignPI(last.input, g.decisionValue(last.value), active)
+					}
 					flipped = true
 					break
 				}
 				if last.enumerated {
 					enumCount--
+				}
+				if useTrail {
+					g.st.Undo()
 				}
 				decisions = decisions[:len(decisions)-1]
 			}
@@ -540,7 +567,12 @@ func (g *Generator) runAPTPG(ctx context.Context, r *rec) {
 				}
 				return
 			}
-			rebuild()
+			if useTrail {
+				g.implyCounted()
+				deadMask = 0
+			} else {
+				rebuild()
+			}
 			continue
 		}
 
@@ -562,6 +594,9 @@ func (g *Generator) runAPTPG(ctx context.Context, r *rec) {
 				r.res.Decisions++
 				g.stats.Decisions++
 				decisions = append(decisions, decision{input: obj.Input, enumerated: true, enumIdx: enumCount})
+				if useTrail {
+					g.st.Assign()
+				}
 				g.st.AssignPIWord(obj.Input, g.enumWord(enumCount))
 				enumCount++
 			}
@@ -575,6 +610,9 @@ func (g *Generator) runAPTPG(ctx context.Context, r *rec) {
 			r.res.Decisions++
 			g.stats.Decisions++
 			decisions = append(decisions, decision{input: obj.Input, value: obj.Value})
+			if useTrail {
+				g.st.Assign()
+			}
 			g.st.AssignPI(obj.Input, g.decisionValue(obj.Value), active)
 		}
 		g.implyCounted()

@@ -26,11 +26,19 @@ type Simulator struct {
 	c    *circuit.Circuit
 	vals []logic.Word7
 	n    int // number of pairs in the current batch
+
+	// faninBuf is the gate-evaluation scratch, hoisted here so Load does not
+	// allocate per call.
+	faninBuf []logic.Word7
 }
 
 // New returns a simulator for the circuit.
 func New(c *circuit.Circuit) *Simulator {
-	return &Simulator{c: c, vals: make([]logic.Word7, c.NumNets())}
+	return &Simulator{
+		c:        c,
+		vals:     make([]logic.Word7, c.NumNets()),
+		faninBuf: make([]logic.Word7, 0, 8),
+	}
 }
 
 // BatchSize is the maximum number of test pairs per batch.
@@ -46,8 +54,11 @@ func (s *Simulator) Load(pairs []pattern.Pair) (int, error) {
 		n = BatchSize
 	}
 	inputs := s.c.Inputs()
-	for i := range s.vals {
-		s.vals[i] = logic.Word7{}
+	// Only the input nets accumulate batch values (MergeAt below); every
+	// other net is overwritten by the evaluation sweep, so clearing the
+	// inputs is enough to erase the previous batch.
+	for _, in := range inputs {
+		s.vals[in] = logic.Word7{}
 	}
 	for j := 0; j < n; j++ {
 		if pairs[j].Len() != len(inputs) {
@@ -57,17 +68,16 @@ func (s *Simulator) Load(pairs []pattern.Pair) (int, error) {
 			s.vals[in].MergeAt(j, pairs[j].Value7(i))
 		}
 	}
-	buf := make([]logic.Word7, 0, 8)
 	for _, id := range s.c.TopoOrder() {
 		g := s.c.Gate(id)
 		if g.Kind == logic.Input {
 			continue
 		}
-		buf = buf[:0]
+		s.faninBuf = s.faninBuf[:0]
 		for _, f := range g.Fanin {
-			buf = append(buf, s.vals[f])
+			s.faninBuf = append(s.faninBuf, s.vals[f])
 		}
-		s.vals[id] = logic.EvalGate7(g.Kind, buf)
+		s.vals[id] = logic.EvalGate7(g.Kind, s.faninBuf)
 	}
 	s.n = n
 	return n, nil

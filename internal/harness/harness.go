@@ -57,6 +57,11 @@ type Config struct {
 	// XFill fills the don't cares of pairs merged during compaction; nil
 	// selects compact.ZeroFill().
 	XFill compact.Filler
+	// CPUProfile and MemProfile, when non-empty, are the pprof output paths
+	// used by Config.Profiled (and by the -cpuprofile/-memprofile flags of
+	// the command-line tools).
+	CPUProfile string
+	MemProfile string
 }
 
 // DefaultConfig returns the configuration used by cmd/experiments: full-size

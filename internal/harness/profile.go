@@ -1,0 +1,74 @@
+package harness
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Profiling support shared by the command-line tools: cmd/tip and
+// cmd/experiments expose -cpuprofile/-memprofile flags so performance work
+// starts from a profile instead of guesswork.  The paths can also be set on
+// a Config and applied around a whole experiment run with Config.Profiled.
+
+// StartCPUProfile starts writing a CPU profile to path and returns the stop
+// function that finishes and closes the file.
+func StartCPUProfile(path string) (stop func() error, err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("cpu profile: %w", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("cpu profile: %w", err)
+	}
+	return func() error {
+		pprof.StopCPUProfile()
+		return f.Close()
+	}, nil
+}
+
+// WriteMemProfile writes the current heap profile to path (after a GC, so
+// the profile reflects live memory rather than collectable garbage).
+func WriteMemProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("mem profile: %w", err)
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		return fmt.Errorf("mem profile: %w", err)
+	}
+	return nil
+}
+
+// Profiled runs fn under the profiles configured on cfg: a CPU profile is
+// collected while fn runs when cfg.CPUProfile is set, and a heap profile is
+// written after fn returns when cfg.MemProfile is set.  fn's error wins over
+// profile write errors.
+func (cfg Config) Profiled(fn func() error) error {
+	var stop func() error
+	if cfg.CPUProfile != "" {
+		var err error
+		stop, err = StartCPUProfile(cfg.CPUProfile)
+		if err != nil {
+			return err
+		}
+	}
+	runErr := fn()
+	var profErr error
+	if stop != nil {
+		profErr = stop()
+	}
+	if cfg.MemProfile != "" {
+		if err := WriteMemProfile(cfg.MemProfile); err != nil && profErr == nil {
+			profErr = err
+		}
+	}
+	if runErr != nil {
+		return runErr
+	}
+	return profErr
+}

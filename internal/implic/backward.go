@@ -38,13 +38,10 @@ func (s *State) backImply(g *circuit.Gate) bool {
 }
 
 // mergeInto merges w into Val[net] at the active levels and reports change.
+// The write goes through mergeVal, so it is trailed and (in incremental
+// mode) schedules the propagation events of the changed net.
 func (s *State) mergeInto(net circuit.NetID, w logic.Word7) bool {
-	merged := s.Val[net].Merge(w.SelectLevels(s.active))
-	if merged == s.Val[net] {
-		return false
-	}
-	s.Val[net] = merged
-	return true
+	return s.mergeVal(net, w.SelectLevels(s.active))
 }
 
 // backImplyAnd derives the backward implications of an AND gate whose output

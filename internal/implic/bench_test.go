@@ -1,0 +1,122 @@
+package implic
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/circuit"
+	"repro/internal/logic"
+	"repro/internal/paths"
+	"repro/internal/sensitize"
+)
+
+// The micro-benchmarks below measure the generator's hot loop: one framed
+// input decision implied (and simulated) incrementally, then undone.  Run
+// them with -benchmem: the steady state must not allocate (the CI bench job
+// gates allocs/op at zero).  The *FullSweep variants measure the retained
+// from-scratch oracle on the identical workload, which is the speed-up the
+// event-driven engine is buying.
+
+// benchImplyState builds a c880-class state loaded with the sensitization
+// requirements of 64 faults (one per bit level) and an implied base closure,
+// mirroring the generator's state when it starts making decisions.
+func benchImplyState(b *testing.B, fullSweep bool) (*State, []circuit.NetID) {
+	b.Helper()
+	p, ok := bench.ProfileByName("c880")
+	if !ok {
+		b.Fatal("unknown profile c880")
+	}
+	c := bench.MustSynthesize(p)
+	st := NewState(c)
+	st.FullSweep = fullSweep
+	st.MaxSweeps = 3 // the generator's default bound
+	st.Reset(logic.AllLevels)
+	for lvl, f := range paths.SampleFaults(c, 64, 1) {
+		cond, err := sensitize.Sensitize(c, f, sensitize.Robust)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, a := range cond.Assignments {
+			st.AddRequirement(a.Net, a.Value, uint64(1)<<uint(lvl))
+		}
+	}
+	st.Imply()
+	st.ForwardSim()
+	return st, c.Inputs()
+}
+
+// decisionStep is one framed decision: assign an input on all levels, imply
+// (and optionally simulate), undo.
+func decisionStep(st *State, inputs []circuit.NetID, i int, sim bool) {
+	in := inputs[i%len(inputs)]
+	v := logic.Stable1
+	if i%2 == 1 {
+		v = logic.Stable0
+	}
+	st.Assign()
+	st.AssignPI(in, v, logic.AllLevels)
+	st.Imply()
+	if sim {
+		st.ForwardSim()
+	}
+	st.Undo()
+}
+
+// BenchmarkImply measures the steady-state incremental implication closure:
+// one framed input decision implied and undone per iteration.  (The few
+// reported B/op are the amortized growth of the simulation-pending list,
+// which this benchmark never drains because it never calls ForwardSim; the
+// generator's real loop always does.  allocs/op stays zero.)
+func BenchmarkImply(b *testing.B) {
+	st, inputs := benchImplyState(b, false)
+	for i := 0; i < 256; i++ {
+		decisionStep(st, inputs, i, false) // warm up trail/queue capacities
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		decisionStep(st, inputs, i, false)
+	}
+}
+
+// BenchmarkImplyFullSweep is the identical workload on the full-sweep
+// oracle: every Imply recomputes the closure from scratch.
+func BenchmarkImplyFullSweep(b *testing.B) {
+	st, inputs := benchImplyState(b, true)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		in := inputs[i%len(inputs)]
+		st.AssignPI(in, logic.Stable1, logic.AllLevels)
+		st.Imply()
+	}
+}
+
+// BenchmarkForwardSim measures the steady-state incremental forward
+// simulation on top of the implied decision (the generator always implies a
+// decision before simulating it).
+func BenchmarkForwardSim(b *testing.B) {
+	st, inputs := benchImplyState(b, false)
+	for i := 0; i < 256; i++ {
+		decisionStep(st, inputs, i, true)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		decisionStep(st, inputs, i, true)
+	}
+}
+
+// BenchmarkForwardSimFullSweep is the identical workload with from-scratch
+// whole-circuit simulation.
+func BenchmarkForwardSimFullSweep(b *testing.B) {
+	st, inputs := benchImplyState(b, true)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		in := inputs[i%len(inputs)]
+		st.AssignPI(in, logic.Stable1, logic.AllLevels)
+		st.Imply()
+		st.ForwardSim()
+	}
+}

@@ -9,21 +9,48 @@
 //   - Req: the sensitization requirements of the target faults;
 //   - PI: the primary input assignments (launch transitions and decisions);
 //   - Val: the implication closure of Req and PI, computed by alternating
-//     forward and backward sweeps until a fixpoint;
+//     forward and backward propagation until a fixpoint;
 //
 // plus Sim, a forward-only simulation of the PI assignments used to decide
 // which requirements are already justified from the primary inputs.
 // Conflicts (the illegal encodings of Tables 1 and 2) are tracked per bit
 // level, so a conflict on one bit level never disturbs the others.
+//
+// # Event-driven incremental operation
+//
+// The engine is incremental: Imply and ForwardSim only propagate from nets
+// whose Req or PI actually changed since the previous call, along the
+// precomputed fanout and fanin lists of the circuit, using levelized event
+// queues (see event.go).  An assignment trail (Assign/Undo, see trail.go)
+// lets the generator's backtracking restore the exact pre-decision state
+// instead of recomputing the closure from scratch, and Reset clears only the
+// nets that were written since the previous Reset.
+//
+// The incremental closure is bit-identical to the retained full-sweep
+// implementation (the FullSweep debug option, kept as the test oracle)
+// whenever the closure converges within MaxSweeps rounds — which it does on
+// every practical netlist; the bound exists only to tame pathological
+// circuits.  On bit levels whose closure contains a conflict the derived
+// stability planes may differ between the two implementations (conflict
+// encodings make individual derivations order-dependent), but the conflict
+// masks themselves, all conflict-free levels, the Sim plane and therefore
+// every generator decision are identical; equiv_test.go checks this contract
+// on randomized and ISCAS-85-class circuits.
 package implic
 
 import (
+	"slices"
+
 	"repro/internal/circuit"
 	"repro/internal/logic"
 )
 
 // State is the per-net value state of the implication engine.  A State is
 // created once per circuit and reset cheaply between fault groups.
+//
+// The value planes are exported for inspection; mutate them only through the
+// State methods (AddRequirement, AssignPI, ...) — direct writes bypass the
+// event scheduling, dirty tracking and assignment trail.
 type State struct {
 	c *circuit.Circuit
 
@@ -37,8 +64,9 @@ type State struct {
 	// Sim holds the forward-only simulation of the PI assignments.
 	Sim []logic.Word7
 
-	active   uint64 // bit levels in use
-	conflict uint64 // accumulated conflict mask (subset of active)
+	active      uint64 // bit levels in use
+	conflict    uint64 // reported conflict mask (subset of active)
+	valConflict uint64 // accumulated conflict bits of the Val plane
 
 	// scratch buffers reused across calls.
 	faninBuf []logic.Word7
@@ -47,35 +75,124 @@ type State struct {
 	// implication closure usually converges in two or three rounds; the
 	// bound only protects against pathological netlists.
 	MaxSweeps int
+
+	// FullSweep selects the original from-scratch implementation of Imply,
+	// ForwardSim and Reset instead of the event-driven incremental one.  It
+	// is the debug oracle the incremental engine is validated against and
+	// must be set before Reset, not toggled mid-epoch.
+	FullSweep bool
+
+	// impReq/impPI mirror the Req and PI planes as last absorbed by the
+	// implication closure; Imply seeds events from nets whose current plane
+	// differs from its mirror.  simPI is the same mirror for ForwardSim.
+	impReq []logic.Word7
+	impPI  []logic.Word7
+	simPI  []logic.Word7
+
+	// pendImply/pendSim list nets whose Req/PI may differ from the mirrors
+	// (duplicates allowed); they are drained by Imply and ForwardSim.
+	pendImply []circuit.NetID
+	pendSim   []circuit.NetID
+
+	// touched lists every net written since the last Reset, so Reset clears
+	// only dirty nets.
+	touched     []circuit.NetID
+	touchedMark []bool
+
+	// reqNets lists the nets carrying a requirement, in insertion order
+	// (the trail truncates it by length), so JustifiedMask and Unjustified
+	// do not scan the whole circuit.
+	reqNets   []circuit.NetID
+	unjustBuf []circuit.NetID
+
+	// Levelized event queues: one bucket per topological level, with a
+	// per-net queued flag and a pending count per direction.
+	fwdB, bwdB, simB [][]circuit.NetID
+	fwdQ, bwdQ, simQ []bool
+	fwdN, bwdN, simN int
+
+	// consts lists the constant-driver nets; the full sweeps evaluate every
+	// gate, so the incremental engine seeds them once per Reset.
+	consts          []circuit.NetID
+	constsSeeded    bool
+	simConstsSeeded bool
+
+	// needResync is set when an assignment was removed outside the trail
+	// (ClearPI): the monotone incremental closure cannot shrink, so the next
+	// Imply recomputes from scratch and resynchronizes the bookkeeping.
+	needResync bool
+
+	// Assignment trail (see trail.go).
+	frames   []frame
+	trail    []trailEntry
+	stamps   [numPlanes][]int64
+	frameSeq int64
 }
 
 // NewState allocates an implication state for the circuit.
 func NewState(c *circuit.Circuit) *State {
 	n := c.NumNets()
-	return &State{
-		c:         c,
-		Req:       make([]logic.Word7, n),
-		PI:        make([]logic.Word7, n),
-		Val:       make([]logic.Word7, n),
-		Sim:       make([]logic.Word7, n),
-		faninBuf:  make([]logic.Word7, 0, 8),
-		MaxSweeps: 8,
+	s := &State{
+		c:           c,
+		Req:         make([]logic.Word7, n),
+		PI:          make([]logic.Word7, n),
+		Val:         make([]logic.Word7, n),
+		Sim:         make([]logic.Word7, n),
+		faninBuf:    make([]logic.Word7, 0, 8),
+		MaxSweeps:   8,
+		impReq:      make([]logic.Word7, n),
+		impPI:       make([]logic.Word7, n),
+		simPI:       make([]logic.Word7, n),
+		touchedMark: make([]bool, n),
+		fwdB:        make([][]circuit.NetID, c.NumLevels()),
+		bwdB:        make([][]circuit.NetID, c.NumLevels()),
+		simB:        make([][]circuit.NetID, c.NumLevels()),
+		fwdQ:        make([]bool, n),
+		bwdQ:        make([]bool, n),
+		simQ:        make([]bool, n),
 	}
+	for i := range s.stamps {
+		s.stamps[i] = make([]int64, n)
+	}
+	for _, g := range c.Gates() {
+		if g.Kind == logic.Const0 || g.Kind == logic.Const1 {
+			s.consts = append(s.consts, g.ID)
+		}
+	}
+	return s
 }
 
 // Circuit returns the circuit the state operates on.
 func (s *State) Circuit() *circuit.Circuit { return s.c }
 
-// Reset clears all planes and sets the active bit level mask.
+// Reset clears all planes and sets the active bit level mask.  Only nets
+// written since the previous Reset are cleared.
 func (s *State) Reset(active uint64) {
-	for i := range s.Req {
-		s.Req[i] = logic.Word7{}
-		s.PI[i] = logic.Word7{}
-		s.Val[i] = logic.Word7{}
-		s.Sim[i] = logic.Word7{}
+	for _, n := range s.touched {
+		s.Req[n] = logic.Word7{}
+		s.PI[n] = logic.Word7{}
+		s.Val[n] = logic.Word7{}
+		s.Sim[n] = logic.Word7{}
+		s.impReq[n] = logic.Word7{}
+		s.impPI[n] = logic.Word7{}
+		s.simPI[n] = logic.Word7{}
+		s.touchedMark[n] = false
 	}
+	s.touched = s.touched[:0]
+	clearQueue(s.fwdB, s.fwdQ, &s.fwdN)
+	clearQueue(s.bwdB, s.bwdQ, &s.bwdN)
+	clearQueue(s.simB, s.simQ, &s.simN)
+	s.pendImply = s.pendImply[:0]
+	s.pendSim = s.pendSim[:0]
+	s.reqNets = s.reqNets[:0]
+	s.frames = s.frames[:0]
+	s.trail = s.trail[:0]
 	s.active = active
 	s.conflict = 0
+	s.valConflict = 0
+	s.constsSeeded = false
+	s.simConstsSeeded = false
+	s.needResync = false
 }
 
 // Active returns the mask of bit levels in use.
@@ -91,7 +208,17 @@ func (s *State) AddRequirement(net circuit.NetID, v logic.Value7, mask uint64) {
 	if v == logic.X7 {
 		return
 	}
-	s.Req[net] = s.Req[net].MergeMasked(logic.FillWord7(v), mask&s.active)
+	old := s.Req[net]
+	merged := old.MergeMasked(logic.FillWord7(v), mask&s.active)
+	if merged == old {
+		return
+	}
+	s.note(pReq, net, old)
+	s.Req[net] = merged
+	if old == (logic.Word7{}) {
+		s.reqNets = append(s.reqNets, net)
+	}
+	s.pendImply = append(s.pendImply, net)
 }
 
 // AssignPI merges a primary input assignment for net at the levels selected
@@ -100,7 +227,7 @@ func (s *State) AssignPI(net circuit.NetID, v logic.Value7, mask uint64) {
 	if v == logic.X7 || !s.c.IsInput(net) {
 		return
 	}
-	s.PI[net] = s.PI[net].MergeMasked(logic.FillWord7(v), mask&s.active)
+	s.mergePI(net, logic.FillWord7(v).SelectLevels(mask&s.active))
 }
 
 // AssignPIWord merges an arbitrary per-level assignment word for a primary
@@ -109,32 +236,83 @@ func (s *State) AssignPIWord(net circuit.NetID, w logic.Word7) {
 	if !s.c.IsInput(net) {
 		return
 	}
-	s.PI[net] = s.PI[net].Merge(w.SelectLevels(s.active))
+	s.mergePI(net, w.SelectLevels(s.active))
+}
+
+// mergePI merges a pre-masked assignment word into the PI plane of an input
+// and schedules the net for the next Imply and ForwardSim.
+func (s *State) mergePI(net circuit.NetID, w logic.Word7) {
+	old := s.PI[net]
+	merged := old.Merge(w)
+	if merged == old {
+		return
+	}
+	s.note(pPI, net, old)
+	s.PI[net] = merged
+	s.pendImply = append(s.pendImply, net)
+	s.pendSim = append(s.pendSim, net)
 }
 
 // ClearPI removes all primary input assignments (keeping requirements),
 // restricted to the levels selected by mask.
+//
+// Removing assignments shrinks the closure, which the monotone incremental
+// engine cannot express; the next Imply therefore falls back to one full
+// from-scratch recomputation (Reset + re-assignment, or the Assign/Undo
+// trail, are the cheap ways to retract assignments).
 func (s *State) ClearPI(mask uint64) {
 	for _, in := range s.c.Inputs() {
-		s.PI[in] = s.PI[in].ClearLevels(mask)
+		old := s.PI[in]
+		cleared := old.ClearLevels(mask)
+		if cleared == old {
+			continue
+		}
+		s.note(pPI, in, old)
+		s.PI[in] = cleared
+		s.pendSim = append(s.pendSim, in)
+		s.needResync = true
 	}
 }
 
 // PIValue returns the current assignment of a primary input.
 func (s *State) PIValue(net circuit.NetID) logic.Word7 { return s.PI[net] }
 
-// Imply recomputes the implication closure Val from Req and PI and returns
-// the mask of bit levels on which a conflict was detected.  A conflict on a
+// Imply updates the implication closure Val from Req and PI and returns the
+// mask of bit levels on which a conflict was detected.  A conflict on a
 // level means the requirements (plus the current input assignments) are
 // unsatisfiable on that level.
+//
+// Only nets whose Req or PI changed since the previous Imply seed new
+// propagation; unchanged regions of the circuit are not revisited.
 func (s *State) Imply() uint64 {
+	if s.FullSweep {
+		return s.implyFull()
+	}
+	if s.needResync {
+		return s.resync()
+	}
+	s.seedImply()
+	s.runImplyRounds()
+	// Like the full sweep, Imply reports only conflicts present in the
+	// closure; conflicts recorded with MarkConflict before this call are
+	// discarded, so callers that track externally detected dead levels must
+	// keep their own mask.
+	s.conflict = s.valConflict & s.active
+	return s.ConflictMask()
+}
+
+// implyFull is the retained full-sweep implementation: it recomputes the
+// closure from scratch with alternating whole-circuit forward and backward
+// sweeps.  It is the oracle the event-driven path is validated against, and
+// the recovery path after ClearPI.
+func (s *State) implyFull() uint64 {
 	order := s.c.TopoOrder()
 	// Initialise the closure with the requirements and input assignments.
 	for i := range s.Val {
-		s.Val[i] = s.Req[i].SelectLevels(s.active)
+		s.setValReplace(circuit.NetID(i), s.Req[i].SelectLevels(s.active))
 	}
 	for _, in := range s.c.Inputs() {
-		s.Val[in] = s.Val[in].Merge(s.PI[in].SelectLevels(s.active))
+		s.mergeVal(in, s.PI[in].SelectLevels(s.active))
 	}
 
 	maxSweeps := s.MaxSweeps
@@ -150,10 +328,7 @@ func (s *State) Imply() uint64 {
 			if g.Kind == logic.Input {
 				continue
 			}
-			ev := s.evalGate(g, s.Val)
-			merged := s.Val[id].Merge(ev)
-			if merged != s.Val[id] {
-				s.Val[id] = merged
+			if s.mergeVal(id, s.evalGate(g, s.Val)) {
 				changed = true
 			}
 		}
@@ -177,11 +352,68 @@ func (s *State) Imply() uint64 {
 	for i := range s.Val {
 		conflict |= s.Val[i].ConflictMask()
 	}
-	// Imply recomputes the conflict mask from the current closure; conflicts
-	// recorded with MarkConflict before this call are discarded, so callers
-	// that track externally detected dead levels must keep their own mask.
+	s.valConflict = conflict
 	s.conflict = conflict & s.active
 	return s.ConflictMask()
+}
+
+// resync recovers after ClearPI: one full-sweep recomputation, then the
+// incremental bookkeeping (mirrors, event queues) is rebuilt to match.
+func (s *State) resync() uint64 {
+	conf := s.implyFull()
+	clearQueue(s.fwdB, s.fwdQ, &s.fwdN)
+	clearQueue(s.bwdB, s.bwdQ, &s.bwdN)
+	s.pendImply = s.pendImply[:0]
+	for _, n := range s.touched {
+		req := s.Req[n].SelectLevels(s.active)
+		if req != s.impReq[n] {
+			s.note(pImpReq, n, s.impReq[n])
+			s.impReq[n] = req
+		}
+		if s.c.IsInput(n) {
+			pi := s.PI[n].SelectLevels(s.active)
+			if pi != s.impPI[n] {
+				s.note(pImpPI, n, s.impPI[n])
+				s.impPI[n] = pi
+			}
+		}
+	}
+	s.constsSeeded = true
+	s.needResync = false
+	return conf
+}
+
+// setValReplace overwrites Val[net] (full-sweep initialisation only).
+func (s *State) setValReplace(net circuit.NetID, w logic.Word7) {
+	old := s.Val[net]
+	if w == old {
+		return
+	}
+	s.note(pVal, net, old)
+	s.Val[net] = w
+}
+
+// mergeVal merges a pre-masked word into Val[net], accumulates conflicts,
+// and (in incremental mode) schedules the affected neighbors: the fanout
+// gates re-evaluate forward, the net's own gate and its fanout gates rerun
+// their backward implications.  It reports whether Val[net] changed.
+func (s *State) mergeVal(net circuit.NetID, w logic.Word7) bool {
+	old := s.Val[net]
+	merged := old.Merge(w)
+	if merged == old {
+		return false
+	}
+	s.note(pVal, net, old)
+	s.Val[net] = merged
+	s.valConflict |= merged.ConflictMask()
+	if !s.FullSweep {
+		s.pushBwd(net)
+		for _, fo := range s.c.Gate(net).Fanout {
+			s.pushFwd(fo)
+			s.pushBwd(fo)
+		}
+	}
+	return true
 }
 
 // evalGate evaluates gate g over the given value slice.
@@ -193,38 +425,65 @@ func (s *State) evalGate(g *circuit.Gate, vals []logic.Word7) logic.Word7 {
 	return logic.EvalGate7(g.Kind, s.faninBuf)
 }
 
-// ForwardSim recomputes Sim: a forward-only simulation of the current PI
+// ForwardSim updates Sim: a forward-only simulation of the current PI
 // assignments, ignoring the requirements.  Sim tells the generator which
 // values are actually produced by the inputs chosen so far, and therefore
-// which requirements are justified.
+// which requirements are justified.  Only the fanout cones of inputs whose
+// assignment changed since the previous call are re-evaluated.
 func (s *State) ForwardSim() {
+	if s.FullSweep {
+		s.forwardSimFull()
+		return
+	}
+	s.runForwardSim()
+}
+
+// forwardSimFull is the retained from-scratch simulation (test oracle).
+func (s *State) forwardSimFull() {
 	for i := range s.Sim {
-		s.Sim[i] = logic.Word7{}
+		s.setSim(circuit.NetID(i), logic.Word7{})
 	}
 	for _, in := range s.c.Inputs() {
-		s.Sim[in] = s.PI[in].SelectLevels(s.active)
+		s.setSim(in, s.PI[in].SelectLevels(s.active))
 	}
 	for _, id := range s.c.TopoOrder() {
 		g := s.c.Gate(id)
 		if g.Kind == logic.Input {
 			continue
 		}
-		s.Sim[id] = s.evalGate(g, s.Sim)
+		s.setSim(id, s.evalGate(g, s.Sim))
+	}
+}
+
+// setSim overwrites Sim[net] and (in incremental mode) schedules the fanout
+// gates for re-evaluation.
+func (s *State) setSim(net circuit.NetID, w logic.Word7) {
+	old := s.Sim[net]
+	if w == old {
+		return
+	}
+	s.note(pSim, net, old)
+	s.Sim[net] = w
+	if !s.FullSweep {
+		for _, fo := range s.c.Gate(net).Fanout {
+			s.pushSim(fo)
+		}
 	}
 }
 
 // JustifiedMask returns the mask of active bit levels on which every
 // requirement is covered by the forward simulation of the primary input
 // assignments and no conflict has been recorded.  ForwardSim must have been
-// called after the last assignment change.
+// called after the last assignment change.  Only nets carrying a
+// requirement are inspected.
 func (s *State) JustifiedMask() uint64 {
 	mask := s.active &^ s.conflict
-	for i := range s.Req {
-		req := s.Req[i].SelectLevels(s.active)
+	for _, id := range s.reqNets {
+		req := s.Req[id].SelectLevels(s.active)
 		if (req == logic.Word7{}) {
 			continue
 		}
-		mask &= s.Sim[i].CoversMask(req)
+		mask &= s.Sim[id].CoversMask(req)
 		if mask == 0 {
 			return 0
 		}
@@ -235,10 +494,16 @@ func (s *State) JustifiedMask() uint64 {
 // Unjustified returns the nets whose requirement is not yet covered by the
 // forward simulation at the given bit level, in topological order (nets
 // closest to the primary inputs first).  ForwardSim must be up to date.
+//
+// The returned slice is a scratch buffer owned by the State: it is
+// overwritten by the next Unjustified call and must not be retained across
+// calls (or across goroutines sharing the State).
 func (s *State) Unjustified(level int) []circuit.NetID {
 	bit := uint64(1) << uint(level)
-	var out []circuit.NetID
-	for _, id := range s.c.TopoOrder() {
+	out := s.unjustBuf[:0]
+	// reqNets must stay in insertion order (the trail truncates it by
+	// length on Undo), so only the filtered output is sorted.
+	for _, id := range s.reqNets {
 		req := s.Req[id]
 		if req.Get(level) == logic.X7 {
 			continue
@@ -247,6 +512,10 @@ func (s *State) Unjustified(level int) []circuit.NetID {
 			out = append(out, id)
 		}
 	}
+	slices.SortFunc(out, func(a, b circuit.NetID) int {
+		return s.c.OrderPos(a) - s.c.OrderPos(b)
+	})
+	s.unjustBuf = out
 	return out
 }
 

@@ -1,0 +1,129 @@
+package implic
+
+import (
+	"repro/internal/circuit"
+	"repro/internal/logic"
+)
+
+// This file implements the assignment trail: Assign opens a frame, every
+// subsequent plane write records the overwritten word once per frame, and
+// Undo restores the exact pre-frame state.  The generator's backtracking
+// undoes decisions instead of resetting and re-implying from scratch.
+
+// Trailed plane identifiers.
+const (
+	pReq uint8 = iota
+	pPI
+	pVal
+	pSim
+	pImpReq
+	pImpPI
+	pSimPI
+	numPlanes
+)
+
+// frame marks a trail position plus the scalar state restored by Undo.
+type frame struct {
+	seq             int64
+	trailLen        int
+	reqNetsLen      int
+	conflict        uint64
+	valConflict     uint64
+	constsSeeded    bool
+	simConstsSeeded bool
+}
+
+// trailEntry records the first overwrite of one plane word within a frame.
+type trailEntry struct {
+	net   circuit.NetID
+	plane uint8
+	old   logic.Word7
+}
+
+// touch marks a net dirty so Reset clears it.
+func (s *State) touch(net circuit.NetID) {
+	if !s.touchedMark[net] {
+		s.touchedMark[net] = true
+		s.touched = append(s.touched, net)
+	}
+}
+
+// note is the write barrier called before every plane write: it marks the
+// net dirty and, when a trail frame is open, records the overwritten word
+// (only the first write per plane, net and frame is recorded — that is the
+// value Undo restores).
+func (s *State) note(plane uint8, net circuit.NetID, old logic.Word7) {
+	s.touch(net)
+	if n := len(s.frames); n > 0 {
+		seq := s.frames[n-1].seq
+		if s.stamps[plane][net] != seq {
+			s.stamps[plane][net] = seq
+			s.trail = append(s.trail, trailEntry{net: net, plane: plane, old: old})
+		}
+	}
+}
+
+// Assign opens a new trail frame.  Every plane change made afterwards —
+// direct assignments as well as everything Imply and ForwardSim derive from
+// them — is undone by the matching Undo.  Frames nest; the generator opens
+// one per decision.
+func (s *State) Assign() {
+	s.frameSeq++
+	s.frames = append(s.frames, frame{
+		seq:             s.frameSeq,
+		trailLen:        len(s.trail),
+		reqNetsLen:      len(s.reqNets),
+		conflict:        s.conflict,
+		valConflict:     s.valConflict,
+		constsSeeded:    s.constsSeeded,
+		simConstsSeeded: s.simConstsSeeded,
+	})
+}
+
+// Depth returns the number of open trail frames.
+func (s *State) Depth() int { return len(s.frames) }
+
+// Undo restores the state at the matching Assign: all plane words, the
+// conflict masks and the requirement bookkeeping.  Nets whose restored
+// Req/PI may disagree with what the closure or the simulation absorbed are
+// re-queued, so the next Imply/ForwardSim reconciles them.  Undo without an
+// open frame is a no-op.
+func (s *State) Undo() {
+	n := len(s.frames)
+	if n == 0 {
+		return
+	}
+	f := s.frames[n-1]
+	for i := len(s.trail) - 1; i >= f.trailLen; i-- {
+		e := s.trail[i]
+		switch e.plane {
+		case pReq:
+			s.Req[e.net] = e.old
+			s.pendImply = append(s.pendImply, e.net)
+		case pPI:
+			s.PI[e.net] = e.old
+			s.pendImply = append(s.pendImply, e.net)
+			s.pendSim = append(s.pendSim, e.net)
+		case pVal:
+			s.Val[e.net] = e.old
+		case pSim:
+			s.Sim[e.net] = e.old
+		case pImpReq:
+			s.impReq[e.net] = e.old
+			s.pendImply = append(s.pendImply, e.net)
+		case pImpPI:
+			s.impPI[e.net] = e.old
+			s.pendImply = append(s.pendImply, e.net)
+		case pSimPI:
+			s.simPI[e.net] = e.old
+			s.pendSim = append(s.pendSim, e.net)
+		}
+	}
+	s.trail = s.trail[:f.trailLen]
+	s.reqNets = s.reqNets[:f.reqNetsLen]
+	s.conflict = f.conflict
+	s.valConflict = f.valConflict
+	s.constsSeeded = f.constsSeeded
+	s.simConstsSeeded = f.simConstsSeeded
+	s.frames = s.frames[:n-1]
+}

@@ -8,12 +8,19 @@
 //	go test -run '^$' -bench BenchmarkRun -benchtime=3x -count=3 . \
 //	    | go run ./tools/benchcmp -convert -sha "$GITHUB_SHA" -out BENCH_$GITHUB_SHA.json
 //
+// `-benchmem` columns (B/op, allocs/op) are captured when present.
+//
 // Compare a new record against a previous one (exit status 1 plus a clear
-// diff message when the named benchmark regresses more than -max-regress
-// percent):
+// diff message when any of the named benchmarks regresses more than
+// -max-regress percent; -key takes a comma-separated list):
 //
 //	go run ./tools/benchcmp -compare prev.json new.json \
-//	    -key 'BenchmarkRun/workers=4' -max-regress 25
+//	    -key 'BenchmarkRun/workers=4,BenchmarkImply' -max-regress 25
+//
+// Allocation budgets are gated on the new record alone (no history needed):
+//
+//	go run ./tools/benchcmp -compare prev.json new.json \
+//	    -max-allocs 'BenchmarkImply=0,BenchmarkForwardSim=0'
 //
 // The JSON stores, per benchmark, every ns/op sample (one per -count
 // repetition) and their median; the raw benchmark text is embedded under
@@ -52,11 +59,17 @@ type Benchmark struct {
 	NsPerOp []float64 `json:"ns_per_op"`
 	// MedianNsPerOp is the median of NsPerOp, the comparison statistic.
 	MedianNsPerOp float64 `json:"median_ns_per_op"`
+	// BytesPerOp and AllocsPerOp list the -benchmem samples, when present.
+	BytesPerOp  []float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp []float64 `json:"allocs_per_op,omitempty"`
+	// MedianAllocsPerOp is the median of AllocsPerOp (0 when absent), the
+	// statistic gated by -max-allocs.
+	MedianAllocsPerOp float64 `json:"median_allocs_per_op,omitempty"`
 }
 
 // benchLine matches one result line of `go test -bench` output, e.g.
-// "BenchmarkRun/workers=4-8   3   123456789 ns/op".
-var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+([0-9.]+) ns/op`)
+// "BenchmarkRun/workers=4-8   3   123456789 ns/op   512 B/op   4 allocs/op".
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+([0-9.]+) ns/op(?:\s+([0-9.]+) B/op\s+([0-9.]+) allocs/op)?`)
 
 // procSuffix is the trailing -GOMAXPROCS decoration of benchmark names.
 var procSuffix = regexp.MustCompile(`-\d+$`)
@@ -68,8 +81,9 @@ func main() {
 		out        = flag.String("out", "", "JSON output file for -convert (default stdout)")
 		sha        = flag.String("sha", "", "commit SHA recorded in the converted JSON")
 		compare    = flag.Bool("compare", false, "compare two JSON records: benchcmp -compare old.json new.json")
-		key        = flag.String("key", "BenchmarkRun/workers=4", "benchmark name gated by -compare")
-		maxRegress = flag.Float64("max-regress", 25, "maximum allowed ns/op regression of -key, in percent")
+		keys       = flag.String("key", "BenchmarkRun/workers=4", "comma-separated benchmark names gated by -compare")
+		maxRegress = flag.Float64("max-regress", 25, "maximum allowed ns/op regression of each -key, in percent")
+		maxAllocs  = flag.String("max-allocs", "", "comma-separated name=N allocation budgets gated on the new record (median allocs/op)")
 	)
 	flag.Parse()
 
@@ -82,7 +96,7 @@ func main() {
 		if flag.NArg() != 2 {
 			fatal(fmt.Errorf("-compare needs exactly two arguments: old.json new.json"))
 		}
-		ok, report, err := runCompare(flag.Arg(0), flag.Arg(1), *key, *maxRegress)
+		ok, report, err := runCompare(flag.Arg(0), flag.Arg(1), *keys, *maxRegress, *maxAllocs)
 		if err != nil {
 			fatal(err)
 		}
@@ -132,7 +146,10 @@ func runConvert(in, out, sha string) error {
 
 // Parse extracts the benchmark samples from `go test -bench` output.
 func Parse(text, sha string) (Record, error) {
-	samples := make(map[string][]float64)
+	type samples struct {
+		ns, bytes, allocs []float64
+	}
+	byName := make(map[string]*samples)
 	for _, line := range strings.Split(text, "\n") {
 		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
 		if m == nil {
@@ -143,23 +160,47 @@ func Parse(text, sha string) (Record, error) {
 			return Record{}, fmt.Errorf("bad ns/op in %q: %w", line, err)
 		}
 		name := procSuffix.ReplaceAllString(m[1], "")
-		samples[name] = append(samples[name], ns)
+		s := byName[name]
+		if s == nil {
+			s = &samples{}
+			byName[name] = s
+		}
+		s.ns = append(s.ns, ns)
+		if m[3] != "" {
+			b, err := strconv.ParseFloat(m[3], 64)
+			if err != nil {
+				return Record{}, fmt.Errorf("bad B/op in %q: %w", line, err)
+			}
+			a, err := strconv.ParseFloat(m[4], 64)
+			if err != nil {
+				return Record{}, fmt.Errorf("bad allocs/op in %q: %w", line, err)
+			}
+			s.bytes = append(s.bytes, b)
+			s.allocs = append(s.allocs, a)
+		}
 	}
-	if len(samples) == 0 {
+	if len(byName) == 0 {
 		return Record{}, fmt.Errorf("no benchmark result lines found in input")
 	}
 	rec := Record{SHA: sha, Raw: string(text)}
-	names := make([]string, 0, len(samples))
-	for name := range samples {
+	names := make([]string, 0, len(byName))
+	for name := range byName {
 		names = append(names, name)
 	}
 	sort.Strings(names)
 	for _, name := range names {
-		rec.Benchmarks = append(rec.Benchmarks, Benchmark{
+		s := byName[name]
+		b := Benchmark{
 			Name:          name,
-			NsPerOp:       samples[name],
-			MedianNsPerOp: median(samples[name]),
-		})
+			NsPerOp:       s.ns,
+			MedianNsPerOp: median(s.ns),
+			BytesPerOp:    s.bytes,
+			AllocsPerOp:   s.allocs,
+		}
+		if len(s.allocs) > 0 {
+			b.MedianAllocsPerOp = median(s.allocs)
+		}
+		rec.Benchmarks = append(rec.Benchmarks, b)
 	}
 	return rec, nil
 }
@@ -195,10 +236,22 @@ func (r Record) find(name string) (Benchmark, bool) {
 	return Benchmark{}, false
 }
 
+// splitList parses a comma-separated flag value, dropping empty items.
+func splitList(s string) []string {
+	var out []string
+	for _, item := range strings.Split(s, ",") {
+		if item = strings.TrimSpace(item); item != "" {
+			out = append(out, item)
+		}
+	}
+	return out
+}
+
 // runCompare renders a delta table of every benchmark the two records share
-// and gates on the named key: ok is false when key's median ns/op grew by
-// more than maxRegress percent.
-func runCompare(oldPath, newPath, key string, maxRegress float64) (ok bool, report string, err error) {
+// and gates on the named keys: ok is false when any key's median ns/op grew
+// by more than maxRegress percent, or when a -max-allocs budget is exceeded
+// in the new record.
+func runCompare(oldPath, newPath, keys string, maxRegress float64, maxAllocs string) (ok bool, report string, err error) {
 	oldRec, err := load(oldPath)
 	if err != nil {
 		return false, "", err
@@ -221,24 +274,54 @@ func runCompare(oldPath, newPath, key string, maxRegress float64) (ok bool, repo
 			nb.Name, ob.MedianNsPerOp, nb.MedianNsPerOp, delta(ob, nb))
 	}
 
-	nb, found := newRec.find(key)
-	if !found {
-		return false, sb.String(), fmt.Errorf("benchmark %q missing from %s", key, newPath)
+	ok = true
+	for _, key := range splitList(keys) {
+		nb, found := newRec.find(key)
+		if !found {
+			return false, sb.String(), fmt.Errorf("benchmark %q missing from %s", key, newPath)
+		}
+		ob, found := oldRec.find(key)
+		if !found {
+			fmt.Fprintf(&sb, "\nno previous record of %q — nothing to gate on\n", key)
+			continue
+		}
+		d := delta(ob, nb)
+		if d > maxRegress {
+			fmt.Fprintf(&sb, "\nFAIL: %s regressed %.1f%% (median %.0f -> %.0f ns/op, old sha %s), above the %.0f%% limit\n",
+				key, d, ob.MedianNsPerOp, nb.MedianNsPerOp, orUnknown(oldRec.SHA), maxRegress)
+			ok = false
+			continue
+		}
+		fmt.Fprintf(&sb, "\nOK: %s within limits (%+.1f%% vs old sha %s, limit %.0f%%)\n",
+			key, d, orUnknown(oldRec.SHA), maxRegress)
 	}
-	ob, found := oldRec.find(key)
-	if !found {
-		fmt.Fprintf(&sb, "\nno previous record of %q — nothing to gate on\n", key)
-		return true, sb.String(), nil
+
+	for _, budget := range splitList(maxAllocs) {
+		name, limitStr, found := strings.Cut(budget, "=")
+		if !found {
+			return false, sb.String(), fmt.Errorf("bad -max-allocs entry %q (want name=N)", budget)
+		}
+		limit, err := strconv.ParseFloat(limitStr, 64)
+		if err != nil {
+			return false, sb.String(), fmt.Errorf("bad -max-allocs limit in %q: %w", budget, err)
+		}
+		nb, foundB := newRec.find(name)
+		if !foundB {
+			return false, sb.String(), fmt.Errorf("benchmark %q missing from %s", name, newPath)
+		}
+		if len(nb.AllocsPerOp) == 0 {
+			return false, sb.String(), fmt.Errorf("benchmark %q has no allocs/op samples (run it with -benchmem)", name)
+		}
+		if nb.MedianAllocsPerOp > limit {
+			fmt.Fprintf(&sb, "\nFAIL: %s allocates %.0f allocs/op (median), above the %.0f budget\n",
+				name, nb.MedianAllocsPerOp, limit)
+			ok = false
+		} else {
+			fmt.Fprintf(&sb, "\nOK: %s within its allocation budget (%.0f <= %.0f allocs/op)\n",
+				name, nb.MedianAllocsPerOp, limit)
+		}
 	}
-	d := delta(ob, nb)
-	if d > maxRegress {
-		fmt.Fprintf(&sb, "\nFAIL: %s regressed %.1f%% (median %.0f -> %.0f ns/op, old sha %s), above the %.0f%% limit\n",
-			key, d, ob.MedianNsPerOp, nb.MedianNsPerOp, orUnknown(oldRec.SHA), maxRegress)
-		return false, sb.String(), nil
-	}
-	fmt.Fprintf(&sb, "\nOK: %s within limits (%+.1f%% vs old sha %s, limit %.0f%%)\n",
-		key, d, orUnknown(oldRec.SHA), maxRegress)
-	return true, sb.String(), nil
+	return ok, sb.String(), nil
 }
 
 func delta(before, after Benchmark) float64 {
