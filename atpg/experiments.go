@@ -22,6 +22,11 @@ type CompareRow = harness.CompareRow
 // AblationRow is one configuration of an ablation sweep.
 type AblationRow = harness.AblationRow
 
+// GroupingRow is one circuit x engine cell of the grouping ablation: the
+// Tables 5/6 width-economics comparison re-run with fault-serial, fixed-wide
+// and adaptive grouping under the incremental and full-sweep engines.
+type GroupingRow = harness.GroupingRow
+
 // CoverageEstimate is the NEST-style coverage-estimation experiment result.
 type CoverageEstimate = harness.CoverageEstimate
 
@@ -104,6 +109,20 @@ func RunCompactionAblation(cfg ExperimentConfig) []AblationRow {
 // RunPruningAblation compares generation with and without subpath
 // redundancy pruning.
 func RunPruningAblation(cfg ExperimentConfig) []AblationRow { return harness.RunPruningAblation(cfg) }
+
+// RunGroupingAblation re-runs the Tables 5/6 comparison with fault-serial
+// (L=1), fixed-wide and two-pass adaptive grouping, under both the
+// incremental event-driven implication engine and the retained full-sweep
+// oracle — the honest re-measurement of the paper's width economics on the
+// new cost model.
+func RunGroupingAblation(cfg ExperimentConfig) []GroupingRow {
+	return harness.RunGroupingAblation(cfg)
+}
+
+// FormatGroupingTable renders grouping ablation rows.
+func FormatGroupingTable(title string, rows []GroupingRow) string {
+	return harness.FormatGroupingTable(title, rows)
+}
 
 // FormatAblationTable renders ablation rows.
 func FormatAblationTable(title string, rows []AblationRow) string {

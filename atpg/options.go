@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/logic"
+	"repro/internal/sched"
 	"repro/internal/sensitize"
 )
 
@@ -35,6 +36,30 @@ func ParseMode(s string) (Mode, error) {
 // MaxWordWidth is the largest word width L the generator exploits: the
 // machine word length, 64 bit levels.
 const MaxWordWidth = logic.WordWidth
+
+// Schedule selects how a multi-worker engine dispatches fault groups to its
+// workers (see [WithSchedule]).
+type Schedule = sched.Policy
+
+// The dispatch policies.
+const (
+	// ScheduleStatic hands every worker one contiguous run of fault groups
+	// up front: the classic shard split, with no rebalancing.
+	ScheduleStatic = sched.Static
+	// ScheduleSteal starts from the same contiguous split but lets a worker
+	// whose queue runs dry steal queued groups from the most loaded peer,
+	// so clustered hard faults do not serialize on one worker.
+	ScheduleSteal = sched.Steal
+)
+
+// ParseSchedule parses "static" or "steal".
+func ParseSchedule(s string) (Schedule, error) {
+	p, err := sched.ParsePolicy(s)
+	if err != nil {
+		return p, fmt.Errorf("atpg: unknown schedule %q (want static or steal)", s)
+	}
+	return p, nil
+}
 
 // Option configures an [Engine] at construction time.
 type Option func(*engineConfig) error
@@ -147,6 +172,66 @@ func WithWorkers(n int) Option {
 			n = runtime.GOMAXPROCS(0)
 		}
 		c.workers = n
+		return nil
+	}
+}
+
+// WithSchedule selects the dispatch policy of a multi-worker engine: how
+// the internal scheduler hands work units (word-parallel fault groups) to
+// the workers.  [ScheduleStatic] (the default) pre-assigns contiguous runs
+// of groups; [ScheduleSteal] additionally lets idle workers steal queued
+// groups from the most loaded peer, which evens out fault lists whose hard
+// faults cluster.  The policy never changes what a run achieves: results
+// stay input-ordered, the merged test set is reassembled in canonical fault
+// order, and the covered/redundant/aborted classification of every fault is
+// policy-independent.  With the interleaved simulation disabled
+// (WithInterleavedSim(0)) the guarantee is exact — identical per-fault
+// statuses and an identical test set under both policies and any worker
+// count; with it enabled (the default), which of the two covered labels a
+// fault gets (Tested versus DetectedBySim) and hence the exact pattern set
+// still depend on cross-worker pattern arrival order, as with
+// [WithWorkers].  The work distribution itself is visible in the
+// Stats.Sched counters.  With one worker the policies coincide.
+func WithSchedule(p Schedule) Option {
+	return func(c *engineConfig) error {
+		if p != ScheduleStatic && p != ScheduleSteal {
+			return fmt.Errorf("atpg: unknown schedule %d", p)
+		}
+		c.opts.Schedule = p
+		return nil
+	}
+}
+
+// WithEscalation enables two-pass adaptive fault grouping with the given
+// escalation width.  Every fault first runs fault-serial (a width-1 group)
+// under a cheap backtrack budget (see [WithFirstPassBudget]); only the
+// faults that survive this first pass are regrouped into width-wide
+// word-parallel groups and re-run under the engine's full backtrack limit.
+// Word-level sharing — the paper's central mechanism — is thus spent only on
+// the faults whose search is expensive enough to pay for it, which on
+// easy-fault workloads beats both the fixed full-width grouping and the
+// pure single-bit generator.  width 0 (the default) disables escalation and
+// keeps the single fixed-width pass; widths outside 0..MaxWordWidth fail
+// construction with ErrBadWidth.
+func WithEscalation(width int) Option {
+	return func(c *engineConfig) error {
+		if width < 0 || width > MaxWordWidth {
+			return fmt.Errorf("%w: escalation width %d (want 0..%d)", ErrBadWidth, width, MaxWordWidth)
+		}
+		c.opts.EscalationWidth = width
+		return nil
+	}
+}
+
+// WithFirstPassBudget sets the backtrack budget of the cheap fault-serial
+// first pass of adaptive grouping (default: 1).  It only takes effect
+// together with [WithEscalation].
+func WithFirstPassBudget(n int) Option {
+	return func(c *engineConfig) error {
+		if n < 1 {
+			return fmt.Errorf("atpg: first-pass budget must be at least 1, got %d", n)
+		}
+		c.opts.FirstPassBacktracks = n
 		return nil
 	}
 }

@@ -1,0 +1,96 @@
+package atpg
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// TestScheduleOptionValidation pins the WithSchedule / WithEscalation /
+// WithFirstPassBudget contracts.
+func TestScheduleOptionValidation(t *testing.T) {
+	c, err := Builtin("c17")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(c, WithSchedule(Schedule(42))); err == nil {
+		t.Error("New(WithSchedule(42)): expected an error")
+	}
+	if _, err := New(c, WithEscalation(-1)); !errors.Is(err, ErrBadWidth) {
+		t.Errorf("New(WithEscalation(-1)): got %v, want ErrBadWidth", err)
+	}
+	if _, err := New(c, WithEscalation(MaxWordWidth+1)); !errors.Is(err, ErrBadWidth) {
+		t.Errorf("New(WithEscalation(%d)): got %v, want ErrBadWidth", MaxWordWidth+1, err)
+	}
+	if _, err := New(c, WithFirstPassBudget(0)); err == nil {
+		t.Error("New(WithFirstPassBudget(0)): expected an error")
+	}
+	if _, err := New(c, WithSchedule(ScheduleSteal), WithEscalation(8), WithFirstPassBudget(2)); err != nil {
+		t.Errorf("valid schedule options rejected: %v", err)
+	}
+
+	for _, tc := range []struct {
+		in   string
+		want Schedule
+		ok   bool
+	}{
+		{"static", ScheduleStatic, true},
+		{"steal", ScheduleSteal, true},
+		{"roundrobin", ScheduleStatic, false},
+	} {
+		got, err := ParseSchedule(tc.in)
+		if (err == nil) != tc.ok || got != tc.want {
+			t.Errorf("ParseSchedule(%q) = %v, %v", tc.in, got, err)
+		}
+	}
+}
+
+// TestStealEscalationMatchesDefault checks at the facade level that the
+// dispatch dimensions do not change the engine's outcome: a work-stealing
+// 4-worker adaptive run covers and aborts exactly the same faults as the
+// plain sequential engine with the same escalation setting, and the
+// escalation counters add up.
+func TestStealEscalationMatchesDefault(t *testing.T) {
+	c, err := Builtin("c432")
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults := SampleFaults(c, 128, 1995)
+
+	seq, err := New(c, WithInterleavedSim(0), WithEscalation(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := seq.Run(context.Background(), faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	par, err := New(c, WithInterleavedSim(0), WithEscalation(16),
+		WithWorkers(4), WithSchedule(ScheduleSteal))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := par.Run(context.Background(), faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i].Status != want[i].Status {
+			t.Errorf("fault %s: steal/4-worker run says %v, sequential says %v",
+				got[i].Fault.Key(), got[i].Status, want[i].Status)
+		}
+	}
+	ss, sp := seq.Stats(), par.Stats()
+	if sp.FirstPassSettled != ss.FirstPassSettled || sp.Escalated != ss.Escalated {
+		t.Errorf("escalation counters differ: steal %d/%d, sequential %d/%d",
+			sp.FirstPassSettled, sp.Escalated, ss.FirstPassSettled, ss.Escalated)
+	}
+	if sp.FirstPassSettled+sp.Escalated != sp.Faults {
+		t.Errorf("first-pass %d + escalated %d != faults %d",
+			sp.FirstPassSettled, sp.Escalated, sp.Faults)
+	}
+	if sp.Sched.Units == 0 {
+		t.Error("scheduler stats not recorded")
+	}
+}

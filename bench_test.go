@@ -97,22 +97,65 @@ func BenchmarkTable8RobustComparison(b *testing.B) {
 	}
 }
 
-// BenchmarkRun measures the multi-core sharded engine on the largest
-// builtin circuit (the c7552-class profile): the same 128-fault robust run
-// sharded across 1, 2, 4 and 8 workers.  On a multi-core machine the
+// BenchmarkRun measures the multi-core scheduler-driven engine on the
+// largest builtin circuit (the c7552-class profile): the same 128-fault
+// robust run sharded across 1, 2, 4 and 8 workers (static dispatch), plus
+// the work-stealing variant at 4 workers.  On a multi-core machine the
 // wall-clock time should drop roughly with the worker count until the
-// shards run out of faults; on a single core the worker counts tie, which
-// is the overhead check.
+// scheduler runs out of units; on a single core the worker counts tie,
+// which is the overhead check.
 func BenchmarkRun(b *testing.B) {
 	c, err := atpg.Builtin("c7552")
 	if err != nil {
 		b.Fatal(err)
 	}
 	faults := atpg.SampleFaults(c, 128, 1995)
+	run := func(b *testing.B, opts ...atpg.Option) {
+		b.Helper()
+		for i := 0; i < b.N; i++ {
+			e, err := atpg.New(c, opts...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := e.Run(context.Background(), faults); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
 	for _, workers := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			run(b, atpg.WithWorkers(workers))
+		})
+	}
+	b.Run("schedule=steal", func(b *testing.B) {
+		run(b, atpg.WithWorkers(4), atpg.WithSchedule(atpg.ScheduleSteal))
+	})
+}
+
+// BenchmarkGrouping measures the width economics on the c7552 easy-fault
+// reference sample (the run behind the README Performance table): fixed
+// full-width groups, the fault-serial L=1 baseline that beat them once the
+// incremental implication core made single-fault implications cheap, and
+// two-pass adaptive escalation, which should reclaim the best of both —
+// near-L=1 cost on the easy bulk, word-parallel sharing on the hard tail.
+func BenchmarkGrouping(b *testing.B) {
+	c, err := atpg.Builtin("c7552")
+	if err != nil {
+		b.Fatal(err)
+	}
+	faults := atpg.SampleFaults(c, 128, 1995)
+	for _, v := range []struct {
+		name string
+		opts []atpg.Option
+	}{
+		{"fixed=64", nil},
+		{"serial=1", []atpg.Option{atpg.WithWordWidth(1), atpg.WithInterleavedSim(1)}},
+		{"adaptive=8", []atpg.Option{atpg.WithEscalation(8)}},
+		{"adaptive=64", []atpg.Option{atpg.WithEscalation(atpg.MaxWordWidth)}},
+	} {
+		b.Run(v.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				e, err := atpg.New(c, atpg.WithWorkers(workers))
+				e, err := atpg.New(c, v.opts...)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -122,6 +165,30 @@ func BenchmarkRun(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkCompactionReduction measures the full static compaction pass on a
+// c7552 sharded run and reports the achieved size reduction as a custom
+// "reduction" metric (0..1), which the CI bench gate tracks alongside ns/op
+// (tools/benchcmp -min-metric).
+func BenchmarkCompactionReduction(b *testing.B) {
+	c, err := atpg.Builtin("c7552")
+	if err != nil {
+		b.Fatal(err)
+	}
+	faults := atpg.SampleFaults(c, 128, 1995)
+	reduction := 0.0
+	for i := 0; i < b.N; i++ {
+		e, err := atpg.New(c, atpg.WithWorkers(4), atpg.WithCompaction(atpg.CompactFull))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := e.Run(context.Background(), faults); err != nil {
+			b.Fatal(err)
+		}
+		reduction = e.Stats().Compaction.Reduction()
+	}
+	b.ReportMetric(reduction, "reduction")
 }
 
 // figure1Faults returns the four faults processed fault-parallel in the

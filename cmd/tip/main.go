@@ -28,6 +28,8 @@ func main() {
 		seed        = flag.Int64("seed", 1995, "seed for fault sampling")
 		width       = flag.Int("width", atpg.MaxWordWidth, "word width L (1..64); 1 is the single-bit baseline")
 		workers     = flag.Int("workers", 1, "worker goroutines to shard the fault list across (0 = one per core)")
+		schedule    = flag.String("schedule", "static", "multi-worker dispatch policy: static (contiguous pre-split) or steal (work-stealing)")
+		escalate    = flag.Int("escalate", 0, "adaptive grouping escalation width W: run every fault fault-serial first, escalate survivors into W-wide groups (0 = off)")
 		backtracks  = flag.Int("backtracks", 64, "backtrack limit per fault")
 		noFPTPG     = flag.Bool("no-fptpg", false, "disable fault-parallel generation")
 		noAPTPG     = flag.Bool("no-aptpg", false, "disable alternative-parallel generation")
@@ -57,6 +59,10 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	sched, err := atpg.ParseSchedule(*schedule)
+	if err != nil {
+		fail(err)
+	}
 
 	fmt.Printf("circuit: %s\n", c)
 	fmt.Printf("structural paths: %s, path delay faults: %s\n",
@@ -74,6 +80,8 @@ func main() {
 		atpg.WithMode(m),
 		atpg.WithWordWidth(*width),
 		atpg.WithWorkers(*workers),
+		atpg.WithSchedule(sched),
+		atpg.WithEscalation(*escalate),
 		atpg.WithBacktrackLimit(*backtracks),
 		atpg.WithFaultParallel(!*noFPTPG),
 		atpg.WithAlternativeParallel(!*noAPTPG),
@@ -81,14 +89,17 @@ func main() {
 		atpg.WithXFill(fill),
 	)
 	if errors.Is(err, atpg.ErrBadWidth) {
-		fail(fmt.Errorf("invalid -width %d: the word width must be between 1 and %d bit levels (%v)",
-			*width, atpg.MaxWordWidth, err))
+		fail(fmt.Errorf("invalid width: %v (valid: -width 1..%d, -escalate 0..%d)",
+			err, atpg.MaxWordWidth, atpg.MaxWordWidth))
 	}
 	if err != nil {
 		fail(err)
 	}
 	if e.Workers() != 1 {
-		fmt.Printf("workers: %d\n", e.Workers())
+		fmt.Printf("workers: %d (schedule %s)\n", e.Workers(), sched)
+	}
+	if *escalate > 0 {
+		fmt.Printf("adaptive grouping: fault-serial first pass, escalation width %d\n", *escalate)
 	}
 
 	var results []atpg.Result
@@ -109,6 +120,13 @@ func main() {
 	st := e.Stats()
 	fmt.Printf("result: %s\n", st)
 	fmt.Printf("sensitization time: %s, generation time: %s\n", st.SensitizeTime, st.GenerateTime)
+	if *escalate > 0 {
+		fmt.Printf("escalation: %d faults settled fault-serial, %d escalated to width %d\n",
+			st.FirstPassSettled, st.Escalated, *escalate)
+	}
+	if e.Workers() != 1 {
+		fmt.Printf("scheduling: %s\n", st.Sched)
+	}
 	if level != atpg.CompactNone {
 		fmt.Printf("compaction: %s\n", st.Compaction)
 	}

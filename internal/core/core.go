@@ -30,6 +30,7 @@ import (
 	"repro/internal/logic"
 	"repro/internal/paths"
 	"repro/internal/pattern"
+	"repro/internal/sched"
 	"repro/internal/sensitize"
 )
 
@@ -161,6 +162,24 @@ type Options struct {
 	// compaction needs it, so normalize turns it on when Compaction is
 	// compact.Full.
 	EmitUnfilled bool
+	// Schedule selects the fault-dispatch policy of a run: sched.Static
+	// hands every worker one contiguous run of work units up front (the
+	// classic shard split, now expressed inside the scheduler), sched.Steal
+	// starts from the same split but lets idle workers steal queued units
+	// from the most loaded peer.  With one worker the policies coincide.
+	Schedule sched.Policy
+	// EscalationWidth, when positive, enables two-pass adaptive grouping:
+	// every fault first runs fault-serial (a width-1 group) under the cheap
+	// FirstPassBacktracks budget, and only the survivors are regrouped into
+	// width-EscalationWidth word-parallel groups and re-run under the full
+	// MaxBacktracks budget.  Word-level sharing is thus spent only on the
+	// faults whose search is expensive enough to pay for it.  Zero (the
+	// default) keeps the single fixed-width pass.
+	EscalationWidth int
+	// FirstPassBacktracks is the APTPG backtrack budget of the cheap first
+	// pass of adaptive grouping; 0 selects 1.  It is ignored while
+	// EscalationWidth is 0.
+	FirstPassBacktracks int
 }
 
 // DefaultOptions returns the configuration used by the experiments: robust
@@ -219,7 +238,39 @@ func (o Options) normalize() Options {
 	if o.Compaction != compact.None && o.CompactionXFill == nil {
 		o.CompactionXFill = compact.ZeroFill()
 	}
+	if o.EscalationWidth < 0 {
+		o.EscalationWidth = 0
+	}
+	if o.EscalationWidth > logic.WordWidth {
+		o.EscalationWidth = logic.WordWidth
+	}
+	if o.EscalationWidth > 0 && o.FirstPassBacktracks <= 0 {
+		o.FirstPassBacktracks = 1
+	}
 	return o
+}
+
+// passSpec describes one generation pass of the scheduler-driven pipeline:
+// the word-parallel group width, the APTPG backtrack budget, and whether
+// faults that exhaust the budget are final (Aborted) or left Pending for the
+// escalation pass.
+type passSpec struct {
+	width  int
+	budget int
+	final  bool
+}
+
+// passes returns the pass sequence the options select: one full-width pass,
+// or — with adaptive grouping — a cheap fault-serial pass followed by a wide
+// escalation pass for its survivors.
+func (o Options) passes() []passSpec {
+	if o.EscalationWidth > 0 {
+		return []passSpec{
+			{width: 1, budget: o.FirstPassBacktracks, final: false},
+			{width: o.EscalationWidth, budget: o.MaxBacktracks, final: true},
+		}
+	}
+	return []passSpec{{width: o.WordWidth, budget: o.MaxBacktracks, final: true}}
 }
 
 func log2(n int) int {
@@ -266,6 +317,17 @@ type Stats struct {
 	Backtracks   int
 	Implications int
 
+	// FirstPassSettled and Escalated summarize adaptive grouping
+	// (Options.EscalationWidth): faults settled by the cheap fault-serial
+	// first pass, and survivors regrouped into wide word-parallel groups.
+	// Both stay zero while escalation is off.
+	FirstPassSettled int
+	Escalated        int
+
+	// Sched summarizes the dispatch layer of the run(s): passes, work
+	// units, steals and the idle-unit skew counter (see sched.Stats).
+	Sched sched.Stats
+
 	// Compaction summarizes the static compaction passes of the run(s):
 	// pairs before/after, compatible merges, reverse-order simulation drops.
 	// All counters stay zero while Options.Compaction is compact.None.
@@ -297,6 +359,10 @@ func (s *Stats) Add(o Stats) {
 	s.Decisions += o.Decisions
 	s.Backtracks += o.Backtracks
 	s.Implications += o.Implications
+
+	s.FirstPassSettled += o.FirstPassSettled
+	s.Escalated += o.Escalated
+	s.Sched.Add(o.Sched)
 
 	s.Compaction.Add(o.Compaction)
 

@@ -12,6 +12,7 @@ import (
 	"repro/internal/logic"
 	"repro/internal/paths"
 	"repro/internal/pattern"
+	"repro/internal/sched"
 	"repro/internal/sensitize"
 )
 
@@ -60,6 +61,16 @@ type Generator struct {
 	// simulation; lastSimmed is the test-set index already simulated.
 	newPatterns int
 	lastSimmed  int
+
+	// runBase is the test-set length at the start of the current run: the
+	// claim-time sweep only simulates the run's own patterns, so faults of
+	// one run are never dropped by an earlier run's tests.
+	runBase int
+
+	// foreign accumulates the patterns imported from the other workers of a
+	// sharded run, so faults claimed later are still checked against every
+	// foreign pattern that arrived before them.
+	foreign []pattern.Pair
 }
 
 // rec is the per-fault working record.
@@ -68,6 +79,20 @@ type rec struct {
 	res    *FaultResult
 	cond   sensitize.Conditions
 	sensOK bool
+	// worker is the index of the worker that claimed the fault; the merge
+	// uses it to locate the worker-local test set a PatternIndex refers to.
+	worker int
+}
+
+// newRecs builds the result slots and working records for a fault list.
+func newRecs(faults []paths.Fault) ([]FaultResult, []*rec) {
+	results := make([]FaultResult, len(faults))
+	recs := make([]*rec, len(faults))
+	for i := range faults {
+		results[i] = FaultResult{Fault: faults[i], Status: Pending, PatternIndex: -1}
+		recs[i] = &rec{fault: faults[i], res: &results[i]}
+	}
+	return results, recs
 }
 
 // New creates a generator for the circuit with the given options.
@@ -107,22 +132,16 @@ func (g *Generator) Fork() *Generator {
 	return w
 }
 
-// Absorb merges a finished worker back into g: the worker's test set is
-// appended to g's, its statistics are added, and the redundant subpaths it
-// learned are kept for later runs.  It returns the index in g's test set
-// that the worker's first pattern received, the offset for remapping the
-// worker's PatternIndex values.  The worker must not be used afterwards.
-func (g *Generator) Absorb(w *Generator) int {
-	base := g.testSet.Append(w.testSet)
+// absorbState merges a finished worker's non-pattern state back into g: its
+// statistics are added and the redundant subpaths it learned are kept for
+// later runs.  Patterns are merged separately, in canonical fault order, by
+// the sharded orchestrator (see mergeResults).  The worker must not be used
+// afterwards.
+func (g *Generator) absorbState(w *Generator) {
 	g.stats.Add(w.stats)
 	for k := range w.redundantPrefixes {
 		g.redundantPrefixes[k] = true
 	}
-	// Absorbed patterns are final results of a completed run: they must not
-	// be re-simulated by a later sequential Run on g.
-	g.lastSimmed = g.testSet.Len()
-	g.newPatterns = 0
-	return base
 }
 
 // Options returns the (normalized) options the generator runs with.
@@ -143,6 +162,12 @@ func (g *Generator) Stats() Stats { return g.stats }
 // fault that has not settled yet is returned as Aborted with the cancellation
 // cause in its Err field.  Callers that need to distinguish a canceled run
 // from a completed one inspect ctx.Err (or context.Cause) after Run returns.
+//
+// Internally the run is scheduler-driven: the fault list is cut into work
+// units (word-parallel groups) that a single consumer drains in input order,
+// in one pass or — with Options.EscalationWidth — in the two passes of
+// adaptive grouping.  The multi-worker variant of the same pipeline is
+// RunSharded.
 func (g *Generator) Run(ctx context.Context, faults []paths.Fault) []FaultResult {
 	if ctx == nil {
 		ctx = context.Background()
@@ -150,79 +175,141 @@ func (g *Generator) Run(ctx context.Context, faults []paths.Fault) []FaultResult
 	start := time.Now()
 	sensAtStart := g.stats.SensitizeTime
 
-	results := make([]FaultResult, len(faults))
-	recs := make([]*rec, len(faults))
-	for i := range faults {
-		results[i] = FaultResult{Fault: faults[i], Status: Pending, PatternIndex: -1}
-		recs[i] = &rec{fault: faults[i], res: &results[i]}
-	}
+	results, recs := newRecs(faults)
 	g.stats.Faults += len(faults)
+	g.runBase = g.testSet.Len()
 
-	var phase2 []*rec
-	if g.opts.UseFPTPG {
-		batch := make([]*rec, 0, g.opts.WordWidth)
-		flush := func() {
-			if len(batch) == 0 {
-				return
-			}
-			g.stats.FPTPGGroups++
-			phase2 = append(phase2, g.runGroup(ctx, batch)...)
-			batch = batch[:0]
-			if ctx.Err() == nil {
-				g.maybeSimulate(recs)
-			}
+	runPasses(g.opts, recs, &g.stats, 1, func(sc *sched.Scheduler, ps passSpec) {
+		g.consume(ctx, sc, 0, recs, ps)
+	})
+	g.finish(ctx, recs)
+	g.reconcileDrops(results)
+
+	g.stats.GenerateTime += time.Since(start) - (g.stats.SensitizeTime - sensAtStart)
+	return results
+}
+
+// consume drains the scheduler as worker w: it claims units, drops claimed
+// faults that existing patterns already detect, processes the rest as
+// word-parallel groups, and runs the interleaved fault simulation.  Each
+// fault index of a unit refers into recs.
+//
+// The simulation scope follows ownership.  A single-worker scheduler gives
+// the consumer exclusive ownership of every record, so each pattern batch
+// is simulated once against all still-pending faults at the interval points
+// (the paper's dropping, linear in the pattern count) and no claim-time
+// sweep is needed.  With several workers a record is only safely mutable
+// after its unit is claimed, so the eager scope shrinks to the claimed
+// records and each claimed unit is instead swept once against the patterns
+// that accumulated before it was claimed.
+func (g *Generator) consume(ctx context.Context, sc *sched.Scheduler, w int, recs []*rec, ps passSpec) {
+	exclusive := sc.Workers() == 1
+	scope := recs
+	if !exclusive {
+		scope = nil
+	}
+	for ctx.Err() == nil {
+		u, ok := sc.Next(w)
+		if !ok {
+			return
 		}
-		for _, r := range recs {
-			if ctx.Err() != nil {
-				break
-			}
-			if r.res.Status != Pending {
-				continue
-			}
-			if g.opts.SubpathPruning && g.pruneIfKnownRedundant(r) {
-				continue
-			}
-			batch = append(batch, r)
-			if len(batch) == g.opts.WordWidth {
-				flush()
-			}
+		unit := make([]*rec, len(u.Faults))
+		for i, f := range u.Faults {
+			unit[i] = recs[f]
+			unit[i].worker = w
 		}
+		if !exclusive {
+			g.claimSweep(unit)
+			scope = append(scope, unit...)
+		}
+		g.processUnit(ctx, unit, ps)
 		if ctx.Err() == nil {
-			flush()
-		}
-	} else {
-		for _, r := range recs {
-			if r.res.Status == Pending {
-				phase2 = append(phase2, r)
-			}
+			g.maybeSimulate(scope)
 		}
 	}
+}
 
-	if g.opts.UseAPTPG {
-		for _, r := range phase2 {
-			if ctx.Err() != nil {
-				break
-			}
-			if r.res.Status != Pending {
-				continue
-			}
-			if g.opts.SubpathPruning && g.pruneIfKnownRedundant(r) {
-				continue
-			}
-			g.runAPTPG(ctx, r)
-			if ctx.Err() == nil {
-				g.maybeSimulate(recs)
-			}
+// processUnit runs one work unit: subpath pruning, one fault-parallel FPTPG
+// group per width-window of the unit's still-pending faults, and the
+// alternative-parallel search for the faults FPTPG hands over.  Faults that
+// exhaust the pass budget are Aborted on a final pass and left Pending for
+// escalation otherwise.
+func (g *Generator) processUnit(ctx context.Context, unit []*rec, ps passSpec) {
+	var group []*rec
+	for _, r := range unit {
+		if ctx.Err() != nil {
+			return
 		}
-	} else {
-		for _, r := range phase2 {
-			if r.res.Status == Pending && ctx.Err() == nil {
-				g.markAborted(r, PhaseFPTPG)
+		if r.res.Status != Pending {
+			continue
+		}
+		if g.opts.SubpathPruning && g.pruneIfKnownRedundant(r) {
+			continue
+		}
+		group = append(group, r)
+	}
+	for start := 0; start < len(group); start += ps.width {
+		end := start + ps.width
+		if end > len(group) {
+			end = len(group)
+		}
+		batch := group[start:end]
+		var hard []*rec
+		if g.opts.UseFPTPG {
+			g.stats.FPTPGGroups++
+			hard = g.runGroup(ctx, batch)
+		} else {
+			hard = batch
+		}
+		switch {
+		case g.opts.UseAPTPG:
+			for _, r := range hard {
+				if ctx.Err() != nil {
+					return
+				}
+				if r.res.Status != Pending {
+					continue
+				}
+				g.runAPTPG(ctx, r, ps)
+			}
+		case ps.final:
+			for _, r := range hard {
+				if r.res.Status == Pending && ctx.Err() == nil {
+					g.markAborted(r, PhaseFPTPG)
+				}
 			}
 		}
 	}
-	// Anything still pending was cut short by cancellation, or could not be
-	// processed because both phases are disabled.
+}
+
+// claimSweep drops just-claimed faults that are already detected: by a
+// pattern another worker published (the accumulated foreign buffer), or by a
+// pattern this worker generated earlier in the run.  It runs at unit claim
+// time on multi-worker schedulers — where a worker cannot eagerly drop
+// faults it has not claimed — so a fault is never searched when the
+// worker's existing tests already cover it.  Disabled together with the
+// interleaved simulation.
+func (g *Generator) claimSweep(unit []*rec) {
+	if g.opts.FaultSimInterval <= 0 {
+		return
+	}
+	if g.ImportPatterns != nil {
+		if foreign := g.ImportPatterns(); len(foreign) > 0 {
+			g.foreign = append(g.foreign, foreign...)
+		}
+	}
+	if len(g.foreign) > 0 {
+		g.dropDetected(unit, g.foreign, -1)
+	}
+	if g.testSet.Len() > g.runBase {
+		g.dropDetected(unit, g.testSet.Pairs[g.runBase:], g.runBase)
+	}
+}
+
+// finish sweeps up records that are still pending after the passes: faults
+// cut short by cancellation carry the cause in their Err field, anything
+// else (unreachable in a normal configuration) is Aborted.
+func (g *Generator) finish(ctx context.Context, recs []*rec) {
 	if err := ctx.Err(); err != nil {
 		cause := context.Cause(ctx)
 		if cause == nil {
@@ -239,9 +326,6 @@ func (g *Generator) Run(ctx context.Context, faults []paths.Fault) []FaultResult
 			g.markAborted(r, PhaseNone)
 		}
 	}
-
-	g.stats.GenerateTime += time.Since(start) - (g.stats.SensitizeTime - sensAtStart)
-	return results
 }
 
 // launchValue is the value assigned to the path input primary input: the
@@ -456,17 +540,20 @@ type decision struct {
 	flipped    bool
 }
 
-// runAPTPG handles one hard fault: the fault is flattened onto all bit
-// levels, up to log2(L) backtrace-selected inputs are enumerated in parallel
-// (one value combination per bit level) and any further decisions are made
-// conventionally with chronological backtracking on all levels at once.
-func (g *Generator) runAPTPG(ctx context.Context, r *rec) {
+// runAPTPG handles one hard fault: the fault is flattened onto the pass's
+// bit levels, up to log2(width) backtrace-selected inputs are enumerated in
+// parallel (one value combination per bit level) and any further decisions
+// are made conventionally with chronological backtracking on all levels at
+// once.  The pass spec bounds the search: ps.budget backtracks, after which
+// the fault is Aborted (final pass) or left Pending for escalation.
+func (g *Generator) runAPTPG(ctx context.Context, r *rec, ps passSpec) {
 	g.stats.APTPGFaults++
 	if !g.sensitizeRec(r) {
 		g.markAborted(r, PhaseAPTPG)
 		return
 	}
-	active := logic.LevelMask(g.opts.WordWidth)
+	width := ps.width
+	active := logic.LevelMask(width)
 	g.st.Reset(active)
 	for _, a := range r.cond.Assignments {
 		g.st.AddRequirement(a.Net, a.Value, active)
@@ -481,8 +568,14 @@ func (g *Generator) runAPTPG(ctx context.Context, r *rec) {
 		return
 	}
 
+	maxEnum := log2(width)
+	if maxEnum > g.opts.MaxEnumInputs {
+		maxEnum = g.opts.MaxEnumInputs
+	}
+
 	var decisions []decision
 	enumCount := 0
+	backtracks := 0 // backtracks spent on the fault in this pass
 	deadMask := uint64(0)
 	sawStuck := false
 
@@ -497,7 +590,7 @@ func (g *Generator) runAPTPG(ctx context.Context, r *rec) {
 		g.st.AssignPI(pathIn, launch, active)
 		for _, d := range decisions {
 			if d.enumerated {
-				g.st.AssignPIWord(d.input, g.enumWord(d.enumIdx))
+				g.st.AssignPIWord(d.input, g.enumWord(d.enumIdx, width))
 			} else {
 				g.st.AssignPI(d.input, g.decisionValue(d.value), active)
 			}
@@ -506,7 +599,7 @@ func (g *Generator) runAPTPG(ctx context.Context, r *rec) {
 		deadMask = 0
 	}
 
-	maxSteps := 64 * (g.opts.MaxBacktracks + 4) * (len(g.c.Inputs()) + 4)
+	maxSteps := 64 * (ps.budget + 4) * (len(g.c.Inputs()) + 4)
 	for step := 0; step < maxSteps; step++ {
 		// The step loop can run long on hard faults; poll the context every
 		// few steps so cancellation stays responsive without a per-step lock.
@@ -528,10 +621,11 @@ func (g *Generator) runAPTPG(ctx context.Context, r *rec) {
 		if aliveMask == 0 {
 			// Every alternative currently under consideration conflicts:
 			// backtrack chronologically over the conventional decisions.
+			backtracks++
 			r.res.Backtracks++
 			g.stats.Backtracks++
-			if r.res.Backtracks > g.opts.MaxBacktracks {
-				g.markAborted(r, PhaseAPTPG)
+			if backtracks > ps.budget {
+				g.abortOrEscalate(r, ps)
 				return
 			}
 			flipped := false
@@ -559,9 +653,12 @@ func (g *Generator) runAPTPG(ctx context.Context, r *rec) {
 				decisions = decisions[:len(decisions)-1]
 			}
 			if !flipped {
-				// The whole search space has been explored.
+				// The whole search space has been explored.  A completed
+				// search without dead levels is a redundancy proof (valid at
+				// any width); a search that had to skip levels stays
+				// inconclusive and escalates on a non-final pass.
 				if sawStuck {
-					g.markAborted(r, PhaseAPTPG)
+					g.abortOrEscalate(r, ps)
 				} else {
 					g.markRedundant(r, PhaseAPTPG)
 				}
@@ -583,8 +680,8 @@ func (g *Generator) runAPTPG(ctx context.Context, r *rec) {
 		// in Section 3.2 of the paper.  Beyond the budget, decisions are
 		// conventional: one input, one value on all levels.
 		lvl := bits.TrailingZeros64(aliveMask)
-		if enumCount < g.opts.MaxEnumInputs {
-			objs := g.findObjectives(lvl, g.opts.MaxEnumInputs-enumCount)
+		if enumCount < maxEnum {
+			objs := g.findObjectives(lvl, maxEnum-enumCount)
 			if len(objs) == 0 {
 				deadMask |= uint64(1) << uint(lvl)
 				sawStuck = true
@@ -597,7 +694,7 @@ func (g *Generator) runAPTPG(ctx context.Context, r *rec) {
 				if useTrail {
 					g.st.Assign()
 				}
-				g.st.AssignPIWord(obj.Input, g.enumWord(enumCount))
+				g.st.AssignPIWord(obj.Input, g.enumWord(enumCount, width))
 				enumCount++
 			}
 		} else {
@@ -617,17 +714,26 @@ func (g *Generator) runAPTPG(ctx context.Context, r *rec) {
 		}
 		g.implyCounted()
 	}
-	g.markAborted(r, PhaseAPTPG)
+	g.abortOrEscalate(r, ps)
+}
+
+// abortOrEscalate gives up on a fault whose pass budget is exhausted: on a
+// final pass it is Aborted, on the cheap first pass of adaptive grouping it
+// stays Pending and the orchestrator escalates it into a wide group.
+func (g *Generator) abortOrEscalate(r *rec, ps passSpec) {
+	if ps.final {
+		g.markAborted(r, PhaseAPTPG)
+	}
 }
 
 // enumWord builds the per-level assignment word of the idx-th enumerated
-// input: bit level j receives value bit idx of j, so across the active
-// levels all combinations of the enumerated inputs appear.
-func (g *Generator) enumWord(idx int) logic.Word7 {
+// input at the given word width: bit level j receives value bit idx of j, so
+// across the active levels all combinations of the enumerated inputs appear.
+func (g *Generator) enumWord(idx, width int) logic.Word7 {
 	one := g.decisionValue(logic.One3)
 	zero := g.decisionValue(logic.Zero3)
 	var w logic.Word7
-	for j := 0; j < g.opts.WordWidth; j++ {
+	for j := 0; j < width; j++ {
 		if (j>>uint(idx))&1 == 1 {
 			w.Set(j, one)
 		} else {
@@ -754,7 +860,8 @@ func (g *Generator) settle(r *rec) {
 
 // maybeSimulate drops still-pending faults that are already detected by
 // existing patterns.  Patterns imported from other workers of a sharded run
-// are simulated whenever they arrive; the generator's own patterns are
+// are simulated whenever they arrive (and kept in the foreign buffer for the
+// claim-time sweep of later units); the generator's own patterns are
 // simulated after every FaultSimInterval of them, as the paper does after
 // every L generated patterns.
 func (g *Generator) maybeSimulate(recs []*rec) {
@@ -763,6 +870,7 @@ func (g *Generator) maybeSimulate(recs []*rec) {
 	}
 	if g.ImportPatterns != nil {
 		if foreign := g.ImportPatterns(); len(foreign) > 0 {
+			g.foreign = append(g.foreign, foreign...)
 			g.dropDetected(recs, foreign, -1)
 		}
 	}

@@ -3,31 +3,43 @@ package core
 import (
 	"context"
 	"sync"
+	"time"
 
 	"repro/internal/faultsim"
 	"repro/internal/paths"
 	"repro/internal/pattern"
+	"repro/internal/sched"
 	"repro/internal/sensitize"
 )
 
-// RunSharded generates tests for the faults like Generator.Run, but shards
-// the fault list across workers goroutines, multiplying the paper's
-// word-level bit parallelism by core-level parallelism.  Each worker is a
-// Fork of master — an independent generator over the shared immutable
-// circuit — processing one contiguous shard.  When the interleaved fault
-// simulation is enabled, workers exchange their verified patterns through a
-// shared buffer, so a pattern emitted on one shard still drops detected
-// faults on the others.
+// RunSharded generates tests for the faults like Generator.Run, but spreads
+// the work across workers goroutines, multiplying the paper's word-level bit
+// parallelism by core-level parallelism.  Each worker is a Fork of master —
+// an independent generator over the shared immutable circuit — consuming
+// work units (word-parallel fault groups) from a shared scheduler
+// (internal/sched).  Under Options.Schedule == sched.Static every worker
+// drains one contiguous pre-assigned run of units, reproducing the classic
+// contiguous shard split; under sched.Steal an idle worker steals queued
+// units from the most loaded peer, so clustered hard faults no longer
+// serialize on one worker.  With Options.EscalationWidth the scheduler runs
+// the two passes of adaptive grouping: a cheap fault-serial pass over every
+// fault, then wide word-parallel groups for the survivors.  When the
+// interleaved fault simulation is enabled, workers exchange their verified
+// patterns through a shared buffer, so a pattern emitted by one worker still
+// drops detected faults on the others.
 //
 // The merged result slice is deterministic and input-ordered: result i
 // belongs to faults[i].  Pattern indices refer to the merged test set, which
-// master accumulates (worker sets are appended in shard order); faults
-// dropped by a foreign worker's pattern get the index of the first pattern
-// of the merged set that detects them.  master's OnSettle callback is
-// invoked as faults settle, serialized by a mutex but in a nondeterministic
-// interleaving across shards; its OnPattern and ImportPatterns hooks are not
-// used.  Statistics are summed over the workers, so the time fields report
-// aggregate CPU time rather than wall-clock time.
+// is reassembled in canonical fault order — the pattern of a Tested fault
+// appears at the position its fault's input index dictates, regardless of
+// which worker generated it or in which order — so the merged set does not
+// depend on the dispatch policy or the steal interleaving.  Faults dropped
+// by a foreign worker's pattern get the index of the first pattern of the
+// merged set that detects them.  master's OnSettle callback is invoked as
+// faults settle, serialized by a mutex but in a nondeterministic
+// interleaving across workers; its OnPattern and ImportPatterns hooks are
+// not used.  Statistics are summed over the workers, so the time fields
+// report aggregate CPU time rather than wall-clock time.
 //
 // When Options.Compaction is enabled, the merged test set of the run is
 // statically compacted once after the deterministic merge (reverse-order
@@ -62,10 +74,7 @@ func RunSharded(ctx context.Context, master *Generator, faults []paths.Fault, wo
 		x = newExchange(workers)
 	}
 
-	bounds := shardBounds(len(faults), workers)
 	gens := make([]*Generator, workers)
-	shardResults := make([][]FaultResult, workers)
-	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		g := master.Fork()
 		if settle != nil {
@@ -81,46 +90,30 @@ func RunSharded(ctx context.Context, master *Generator, faults []paths.Fault, wo
 			g.ImportPatterns = func() []pattern.Pair { return x.fetch(id) }
 		}
 		gens[w] = g
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			shardResults[w] = gens[w].Run(ctx, faults[bounds[w]:bounds[w+1]])
-		}(w)
-	}
-	wg.Wait()
-
-	// Merge: append the worker test sets in shard order, remap the worker-
-	// local pattern indices to the merged set, and reassemble the results in
-	// fault input order.
-	results := make([]FaultResult, len(faults))
-	var foreignDropped []int
-	for w := 0; w < workers; w++ {
-		base := master.Absorb(gens[w])
-		for i, r := range shardResults[w] {
-			if r.PatternIndex >= 0 {
-				r.PatternIndex += base
-			} else if r.Status == DetectedBySim {
-				foreignDropped = append(foreignDropped, bounds[w]+i)
-			}
-			results[bounds[w]+i] = r
-		}
 	}
 
-	// Faults dropped by a foreign worker's pattern carry no index yet: find
-	// the first detecting pattern in the merged set.
-	if len(foreignDropped) > 0 {
-		dropped := make([]paths.Fault, len(foreignDropped))
-		for i, idx := range foreignDropped {
-			dropped[i] = results[idx].Fault
+	results, recs := newRecs(faults)
+	master.stats.Faults += len(faults)
+
+	runPasses(master.opts, recs, &master.stats, workers, func(sc *sched.Scheduler, ps passSpec) {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				g := gens[w]
+				start := time.Now()
+				sensAtStart := g.stats.SensitizeTime
+				g.consume(ctx, sc, w, recs, ps)
+				g.stats.GenerateTime += time.Since(start) - (g.stats.SensitizeTime - sensAtStart)
+			}(w)
 		}
-		sim, err := faultsim.Run(master.c, master.testSet.Pairs, dropped,
-			master.opts.Mode == sensitize.Robust)
-		if err == nil {
-			for i, idx := range foreignDropped {
-				results[idx].PatternIndex = sim.DetectedBy[i]
-			}
-		}
-	}
+		wg.Wait()
+	})
+
+	master.finish(ctx, recs)
+	mergeResults(master, gens, recs, results)
+	master.reconcileDrops(results)
 
 	// Static compaction of the merged set, once, after the deterministic
 	// merge (skipped when the run was cut short: a canceled run should
@@ -131,25 +124,140 @@ func RunSharded(ctx context.Context, master *Generator, faults []paths.Fault, wo
 	return results
 }
 
-// shardBounds splits n faults into workers contiguous shards of near-equal
-// size: bounds[w]..bounds[w+1] is worker w's shard.
-func shardBounds(n, workers int) []int {
-	bounds := make([]int, workers+1)
-	per, extra := n/workers, n%workers
-	for w := 0; w < workers; w++ {
-		size := per
-		if w < extra {
-			size++
+// runPasses executes the pass sequence the options select — one fixed-width
+// pass, or the cheap fault-serial pass plus the wide escalation pass of
+// adaptive grouping — over the records.  For each pass it groups the
+// still-pending faults into work units, loads them into a scheduler for the
+// given worker count and lets drain consume it (drain must not return before
+// the workers have quiesced).  Scheduler and escalation counters accumulate
+// into stats.
+func runPasses(opts Options, recs []*rec, stats *Stats, workers int, drain func(*sched.Scheduler, passSpec)) {
+	for pi, ps := range opts.passes() {
+		idx := make([]int, 0, len(recs))
+		for i, r := range recs {
+			if r.res.Status == Pending {
+				idx = append(idx, i)
+			}
 		}
-		bounds[w+1] = bounds[w] + size
+		if pi > 0 {
+			stats.FirstPassSettled += len(recs) - len(idx)
+			stats.Escalated += len(idx)
+		}
+		if len(idx) == 0 {
+			continue
+		}
+		sc := sched.New(opts.Schedule, workers)
+		sc.Load(sched.Group(idx, ps.width))
+		drain(sc, ps)
+		stats.Sched.Add(sc.Stats())
 	}
-	return bounds
+}
+
+// mergeResults reassembles the workers' output on the master, in canonical
+// fault order: walking the results by fault input index, every Tested
+// fault's pattern is appended to the master set (so the merged set's order
+// is a pure function of the per-fault outcomes, independent of the dispatch
+// interleaving), and the worker-local PatternIndex of every covered fault is
+// remapped onto the merged set.  Cross-worker simulation drops keep index -1
+// here and are reconciled by reconcileDrops.  Worker statistics and
+// learned redundant subpaths are absorbed into the master.
+func mergeResults(master *Generator, gens []*Generator, recs []*rec, results []FaultResult) {
+	type patKey struct{ worker, index int }
+	remap := make(map[patKey]int)
+	for i := range results {
+		r := &results[i]
+		if r.Status == Tested && r.PatternIndex >= 0 {
+			k := patKey{recs[i].worker, r.PatternIndex}
+			mi := master.testSet.AddFrom(gens[k.worker].testSet, k.index)
+			remap[k] = mi
+			r.PatternIndex = mi
+		}
+	}
+	for i := range results {
+		r := &results[i]
+		if r.Status != DetectedBySim || r.PatternIndex < 0 {
+			continue
+		}
+		if mi, ok := remap[patKey{recs[i].worker, r.PatternIndex}]; ok {
+			r.PatternIndex = mi
+		} else {
+			// Unreachable while every worker pattern belongs to a Tested
+			// fault; fail safe to the foreign-drop reconciliation.
+			r.PatternIndex = -1
+		}
+	}
+	for _, g := range gens {
+		master.absorbState(g)
+	}
+	// Merged patterns are final results of a completed run: they must not be
+	// re-simulated by a later sequential Run on master.
+	master.lastSimmed = master.testSet.Len()
+	master.newPatterns = 0
+}
+
+// reconcileDrops resolves the classifications that depend on the run's
+// final test set, with one parallel-pattern simulation pass:
+//
+//   - Faults dropped by a foreign worker's pattern carry no index into any
+//     worker-local set; they get the index of the first pattern of the
+//     merged set that detects them.
+//
+//   - While the interleaved simulation is active, faults the search proved
+//     Redundant but the final set demonstrably detects are reported
+//     DetectedBySim.  The two classifications can genuinely coexist: the
+//     search's sensitization conditions under-approximate the simulator's
+//     detection criterion (e.g. XOR-rich paths, where the search fixes the
+//     transition polarity along the path while the simulator accepts any
+//     polarity), so whether such a fault was dropped or searched first used
+//     to depend on pattern arrival order — across workers, a race.  Anchoring
+//     the class to the final set makes the outcome independent of the
+//     dispatch interleaving; the evidence (a concrete detecting pattern)
+//     takes precedence over the narrower proof.  OnSettle may have reported
+//     such a fault Redundant when it settled; the returned results are the
+//     authoritative classification, as with the post-settle pattern-index
+//     remapping of compaction.
+func (g *Generator) reconcileDrops(results []FaultResult) {
+	var idx []int
+	for i := range results {
+		switch {
+		case results[i].Status == DetectedBySim && results[i].PatternIndex < 0:
+			idx = append(idx, i)
+		case results[i].Status == Redundant && g.opts.FaultSimInterval > 0:
+			idx = append(idx, i)
+		}
+	}
+	if len(idx) == 0 || g.testSet.Len() == 0 {
+		return
+	}
+	checked := make([]paths.Fault, len(idx))
+	for i, j := range idx {
+		checked[i] = results[j].Fault
+	}
+	sim, err := faultsim.Run(g.c, g.testSet.Pairs, checked,
+		g.opts.Mode == sensitize.Robust)
+	if err != nil {
+		return
+	}
+	for i, j := range idx {
+		r := &results[j]
+		if r.Status == Redundant {
+			if sim.DetectedBy[i] >= 0 {
+				r.Status = DetectedBySim
+				r.Phase = PhaseSimulation
+				r.PatternIndex = sim.DetectedBy[i]
+				g.stats.Redundant--
+				g.stats.DetectedBySim++
+			}
+			continue
+		}
+		r.PatternIndex = sim.DetectedBy[i]
+	}
 }
 
 // exchange is the cross-worker pattern buffer: every worker publishes its
 // verified patterns and periodically fetches the patterns the other workers
 // published since its last fetch, so DetectedBySim drops happen across
-// shards.
+// workers regardless of the dispatch policy.
 type exchange struct {
 	mu      sync.Mutex
 	entries []exchangeEntry

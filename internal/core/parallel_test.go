@@ -2,14 +2,31 @@ package core
 
 import (
 	"context"
+	"fmt"
+	"sort"
 	"sync"
 	"testing"
 
 	"repro/internal/bench"
+	"repro/internal/circuit"
+	"repro/internal/compact"
+	"repro/internal/faultsim"
 	"repro/internal/paths"
 	"repro/internal/pattern"
+	"repro/internal/sched"
 	"repro/internal/sensitize"
 )
+
+// detectedVector fault-simulates the pairs over the faults and returns the
+// per-fault detection vector.
+func detectedVector(t *testing.T, c *circuit.Circuit, pairs []pattern.Pair, faults []paths.Fault) []bool {
+	t.Helper()
+	res, err := faultsim.Run(c, pairs, faults, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Detected
+}
 
 // classOf collapses a status to its coverage class: Tested and DetectedBySim
 // both mean "the merged test set covers the fault", and which of the two a
@@ -22,13 +39,13 @@ func classOf(s Status) string {
 	return s.String()
 }
 
-// TestShardedMatchesSequential checks the cornerstone of the sharded engine
-// on several circuits and modes: any worker count must classify every fault
-// the same as the sequential generator.  With the interleaved simulation
-// disabled every fault's search is independent, so the statuses must match
-// exactly; with it enabled, Tested and DetectedBySim may swap (coverage
-// class equality), but redundancy proofs and the merged coverage must not
-// move.
+// TestShardedMatchesSequential checks the cornerstone of the scheduler-driven
+// engine on several circuits and modes: any worker count, under either
+// dispatch policy, must classify every fault the same as the sequential
+// generator.  With the interleaved simulation disabled every fault's search
+// is independent, so the statuses must match exactly; with it enabled,
+// Tested and DetectedBySim may swap (coverage class equality), but
+// redundancy proofs and the merged coverage must not move.
 func TestShardedMatchesSequential(t *testing.T) {
 	for _, name := range []string{"c17", "paper", "redundant", "adder8", "cmp8"} {
 		c, err := bench.Get(name)
@@ -38,37 +55,40 @@ func TestShardedMatchesSequential(t *testing.T) {
 		faults := paths.EnumerateFaults(c, 0)
 		for _, mode := range []sensitize.Mode{sensitize.Robust, sensitize.Nonrobust} {
 			for _, simInterval := range []int{0, 4} {
-				opts := DefaultOptions(mode)
-				opts.FaultSimInterval = simInterval
-				seq := New(c, opts)
-				want := seq.Run(context.Background(), faults)
-				for _, workers := range []int{2, 3, 8} {
-					g := New(c, opts)
-					got := RunSharded(context.Background(), g, faults, workers)
-					if len(got) != len(want) {
-						t.Fatalf("%s: %d sharded results for %d faults", name, len(got), len(faults))
-					}
-					for i := range got {
-						if got[i].Fault.Key() != want[i].Fault.Key() {
-							t.Fatalf("%s workers=%d: result %d is for fault %s, want %s (merge order broken)",
-								name, workers, i, got[i].Fault.Key(), want[i].Fault.Key())
+				for _, schedule := range []sched.Policy{sched.Static, sched.Steal} {
+					opts := DefaultOptions(mode)
+					opts.FaultSimInterval = simInterval
+					opts.Schedule = schedule
+					seq := New(c, opts)
+					want := seq.Run(context.Background(), faults)
+					for _, workers := range []int{2, 3, 8} {
+						g := New(c, opts)
+						got := RunSharded(context.Background(), g, faults, workers)
+						if len(got) != len(want) {
+							t.Fatalf("%s: %d sharded results for %d faults", name, len(got), len(faults))
 						}
-						if simInterval == 0 {
-							if got[i].Status != want[i].Status {
-								t.Errorf("%s workers=%d mode=%v: fault %s is %v, sequential says %v",
-									name, workers, mode, got[i].Fault.Key(), got[i].Status, want[i].Status)
+						for i := range got {
+							if got[i].Fault.Key() != want[i].Fault.Key() {
+								t.Fatalf("%s workers=%d %v: result %d is for fault %s, want %s (merge order broken)",
+									name, workers, schedule, i, got[i].Fault.Key(), want[i].Fault.Key())
 							}
-						} else if classOf(got[i].Status) != classOf(want[i].Status) {
-							t.Errorf("%s workers=%d mode=%v sim=%d: fault %s is %v, sequential says %v",
-								name, workers, mode, simInterval, got[i].Fault.Key(), got[i].Status, want[i].Status)
+							if simInterval == 0 {
+								if got[i].Status != want[i].Status {
+									t.Errorf("%s workers=%d mode=%v %v: fault %s is %v, sequential says %v",
+										name, workers, mode, schedule, got[i].Fault.Key(), got[i].Status, want[i].Status)
+								}
+							} else if classOf(got[i].Status) != classOf(want[i].Status) {
+								t.Errorf("%s workers=%d mode=%v sim=%d %v: fault %s is %v, sequential says %v",
+									name, workers, mode, simInterval, schedule, got[i].Fault.Key(), got[i].Status, want[i].Status)
+							}
 						}
-					}
-					gs, ss := g.Stats(), seq.Stats()
-					if gs.Faults != ss.Faults || gs.Redundant != ss.Redundant ||
-						gs.Tested+gs.DetectedBySim != ss.Tested+ss.DetectedBySim ||
-						gs.Aborted != ss.Aborted {
-						t.Errorf("%s workers=%d: sharded stats %v disagree with sequential %v",
-							name, workers, gs, ss)
+						gs, ss := g.Stats(), seq.Stats()
+						if gs.Faults != ss.Faults || gs.Redundant != ss.Redundant ||
+							gs.Tested+gs.DetectedBySim != ss.Tested+ss.DetectedBySim ||
+							gs.Aborted != ss.Aborted {
+							t.Errorf("%s workers=%d %v: sharded stats %v disagree with sequential %v",
+								name, workers, schedule, gs, ss)
+						}
 					}
 				}
 			}
@@ -78,36 +98,41 @@ func TestShardedMatchesSequential(t *testing.T) {
 
 // TestShardedPatternIndices checks that every merged result's PatternIndex
 // points at a pattern of the merged test set that actually detects the
-// fault, for tested and simulation-dropped faults alike.
+// fault, for tested and simulation-dropped faults alike, under both
+// dispatch policies.
 func TestShardedPatternIndices(t *testing.T) {
 	c, err := bench.Get("adder8")
 	if err != nil {
 		t.Fatal(err)
 	}
 	faults := paths.EnumerateFaults(c, 0)
-	opts := DefaultOptions(sensitize.Robust)
-	opts.FaultSimInterval = 2 // aggressive dropping to exercise the exchange
-	g := New(c, opts)
-	results := RunSharded(context.Background(), g, faults, 4)
-	set := g.TestSet()
-	if set.Len() == 0 {
-		t.Fatal("no patterns generated")
-	}
-	sim := New(c, opts).sim
-	for _, r := range results {
-		if !r.Status.Detected() {
-			continue
+	for _, schedule := range []sched.Policy{sched.Static, sched.Steal} {
+		opts := DefaultOptions(sensitize.Robust)
+		opts.FaultSimInterval = 2 // aggressive dropping to exercise the exchange
+		opts.Schedule = schedule
+		g := New(c, opts)
+		results := RunSharded(context.Background(), g, faults, 4)
+		set := g.TestSet()
+		if set.Len() == 0 {
+			t.Fatal("no patterns generated")
 		}
-		if r.PatternIndex < 0 || r.PatternIndex >= set.Len() {
-			t.Errorf("fault %s (%v) has pattern index %d outside the merged set (len %d)",
-				r.Fault.Key(), r.Status, r.PatternIndex, set.Len())
-			continue
-		}
-		if _, err := sim.Load([]pattern.Pair{set.Pairs[r.PatternIndex]}); err != nil {
-			t.Fatal(err)
-		}
-		if sim.Detects(r.Fault, true) == 0 {
-			t.Errorf("pattern %d does not detect fault %s it is recorded for", r.PatternIndex, r.Fault.Key())
+		sim := New(c, opts).sim
+		for _, r := range results {
+			if !r.Status.Detected() {
+				continue
+			}
+			if r.PatternIndex < 0 || r.PatternIndex >= set.Len() {
+				t.Errorf("%v: fault %s (%v) has pattern index %d outside the merged set (len %d)",
+					schedule, r.Fault.Key(), r.Status, r.PatternIndex, set.Len())
+				continue
+			}
+			if _, err := sim.Load([]pattern.Pair{set.Pairs[r.PatternIndex]}); err != nil {
+				t.Fatal(err)
+			}
+			if sim.Detects(r.Fault, true) == 0 {
+				t.Errorf("%v: pattern %d does not detect fault %s it is recorded for",
+					schedule, r.PatternIndex, r.Fault.Key())
+			}
 		}
 	}
 }
@@ -139,25 +164,269 @@ func TestShardedSettleCallback(t *testing.T) {
 	}
 }
 
-// TestShardBounds checks the deterministic near-even shard split.
-func TestShardBounds(t *testing.T) {
-	for _, tc := range []struct {
-		n, workers int
-		want       []int
-	}{
-		{10, 4, []int{0, 3, 6, 8, 10}},
-		{4, 4, []int{0, 1, 2, 3, 4}},
-		{7, 2, []int{0, 4, 7}},
-	} {
-		got := shardBounds(tc.n, tc.workers)
-		if len(got) != len(tc.want) {
-			t.Fatalf("shardBounds(%d,%d) = %v, want %v", tc.n, tc.workers, got, tc.want)
-		}
-		for i := range got {
-			if got[i] != tc.want[i] {
-				t.Errorf("shardBounds(%d,%d) = %v, want %v", tc.n, tc.workers, got, tc.want)
-				break
+// sortedPatterns renders a test set as a sorted multiset of pattern strings:
+// the canonical form for comparing what was generated regardless of order.
+func sortedPatterns(set *pattern.Set) []string {
+	out := make([]string, set.Len())
+	for i, p := range set.Pairs {
+		out[i] = p.String()
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestSchedulerDeterminism is the determinism matrix of the dispatch layer:
+// with the interleaved simulation off, every combination of workers in
+// {1,2,4,8}, schedule in {static, steal} and escalation on/off must produce
+// identical per-fault classifications and an identical pattern multiset —
+// the outcome may not depend on how work was spread over cores.
+func TestSchedulerDeterminism(t *testing.T) {
+	c, err := bench.Get("adder8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults := paths.EnumerateFaults(c, 0)
+	for _, escalate := range []int{0, 8} {
+		base := DefaultOptions(sensitize.Robust)
+		base.FaultSimInterval = 0
+		base.EscalationWidth = escalate
+
+		ref := New(c, base)
+		want := ref.Run(context.Background(), faults)
+		wantPatterns := sortedPatterns(ref.TestSet())
+
+		for _, workers := range []int{1, 2, 4, 8} {
+			for _, schedule := range []sched.Policy{sched.Static, sched.Steal} {
+				opts := base
+				opts.Schedule = schedule
+				g := New(c, opts)
+				got := RunSharded(context.Background(), g, faults, workers)
+				tag := fmt.Sprintf("workers=%d schedule=%v escalate=%d", workers, schedule, escalate)
+				for i := range got {
+					if got[i].Status != want[i].Status {
+						t.Errorf("%s: fault %s is %v, reference says %v",
+							tag, got[i].Fault.Key(), got[i].Status, want[i].Status)
+					}
+				}
+				gotPatterns := sortedPatterns(g.TestSet())
+				if len(gotPatterns) != len(wantPatterns) {
+					t.Fatalf("%s: %d patterns, reference has %d", tag, len(gotPatterns), len(wantPatterns))
+				}
+				for i := range gotPatterns {
+					if gotPatterns[i] != wantPatterns[i] {
+						t.Fatalf("%s: pattern multiset differs from the reference at %d:\n  %s\n  %s",
+							tag, i, gotPatterns[i], wantPatterns[i])
+					}
+				}
 			}
 		}
+	}
+}
+
+// TestSchedulerCompactedCoverage completes the determinism matrix on the
+// compaction layer: with full compaction and the interleaved simulation on,
+// the post-compaction coverage over the complete fault list must be
+// bit-identical for every workers x schedule x escalation combination.
+func TestSchedulerCompactedCoverage(t *testing.T) {
+	c, err := bench.Get("c432")
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults := paths.SampleFaults(c, 96, 11)
+
+	for _, escalate := range []int{0, 16} {
+		// The coverage baseline is per escalation setting: adaptive grouping
+		// legitimately generates different patterns than the fixed-width run,
+		// but within one setting the dispatch dimensions must not matter.
+		var want []bool
+		for _, workers := range []int{1, 4} {
+			for _, schedule := range []sched.Policy{sched.Static, sched.Steal} {
+				opts := DefaultOptions(sensitize.Robust)
+				opts.Compaction = compact.Full
+				opts.Schedule = schedule
+				opts.EscalationWidth = escalate
+				g := New(c, opts)
+				RunSharded(context.Background(), g, faults, workers)
+				detected := detectedVector(t, c, g.TestSet().Pairs, faults)
+				if want == nil {
+					want = detected
+					continue
+				}
+				for f := range want {
+					if want[f] != detected[f] {
+						t.Fatalf("workers=%d schedule=%v escalate=%d: post-compaction coverage differs at fault %d",
+							workers, schedule, escalate, f)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestWorkStealingBeatsStaticOnSkew is the shard-skew regression test: a
+// fault ordering whose hard faults are clustered at the front must leave the
+// static contiguous split with idle workers (queued units they are barred
+// from taking), while the work-stealing policy rebalances them — asserted
+// through the scheduler's steal/idle counters rather than wall clock.
+func TestWorkStealingBeatsStaticOnSkew(t *testing.T) {
+	c := bench.MustSynthesize(bench.Profile{
+		Name: "skew", Inputs: 14, Outputs: 6, Gates: 170, Depth: 13, Seed: 71,
+		InputFaninBias: 0.35, WideFaninFraction: 0.25, InverterFraction: 0.45,
+	})
+	opts := DefaultOptions(sensitize.Robust)
+	opts.UseFPTPG = false // every fault pays the full backtracking search
+	opts.WordWidth = 4    // small units, so the scheduler has something to balance
+	opts.FaultSimInterval = 0
+	opts.SubpathPruning = false
+	opts.MaxBacktracks = 64
+
+	// Probe a sample for the most and least expensive faults.
+	sample := paths.SampleFaults(c, 96, 7)
+	probe := New(c, opts)
+	res := probe.Run(context.Background(), sample)
+	hard, easy, hardCost, easyCost := 0, 0, -1, int(^uint(0)>>1)
+	for i, r := range res {
+		cost := r.Decisions + 16*r.Backtracks
+		if cost > hardCost {
+			hardCost, hard = cost, i
+		}
+		if cost < easyCost {
+			easyCost, easy = cost, i
+		}
+	}
+	if hardCost <= easyCost {
+		t.Skipf("no cost skew in the sample (hard=%d easy=%d)", hardCost, easyCost)
+	}
+	t.Logf("hard fault cost %d (%v), easy fault cost %d", hardCost, res[hard].Status, easyCost)
+
+	// Cluster 48 instances of the hard fault at the front, then 144 easy
+	// ones: the static contiguous split gives the whole cluster to the first
+	// worker.
+	var faults []paths.Fault
+	for i := 0; i < 48; i++ {
+		faults = append(faults, sample[hard])
+	}
+	for i := 0; i < 144; i++ {
+		faults = append(faults, sample[easy])
+	}
+
+	stats := make(map[sched.Policy]sched.Stats)
+	for _, schedule := range []sched.Policy{sched.Static, sched.Steal} {
+		o := opts
+		o.Schedule = schedule
+		g := New(c, o)
+		RunSharded(context.Background(), g, faults, 4)
+		stats[schedule] = g.Stats().Sched
+		t.Logf("%v: %v", schedule, g.Stats().Sched)
+	}
+
+	if s := stats[sched.Steal]; s.Steals == 0 {
+		t.Error("work-stealing run recorded no steals on a skewed ordering")
+	}
+	if s := stats[sched.Steal]; s.IdleUnits != 0 {
+		t.Errorf("work-stealing run left %d queued units behind idle workers, want 0", s.IdleUnits)
+	}
+	if s := stats[sched.Static]; s.IdleUnits == 0 {
+		t.Error("static run shows no idle skew; the regression scenario is not exercising the imbalance")
+	}
+	if stats[sched.Steal].IdleUnits >= stats[sched.Static].IdleUnits {
+		t.Errorf("stealing did not beat static on idle units: steal=%d static=%d",
+			stats[sched.Steal].IdleUnits, stats[sched.Static].IdleUnits)
+	}
+}
+
+// TestEscalationAdaptiveGrouping pins the semantics of two-pass adaptive
+// grouping: the cheap fault-serial pass settles the easy faults, only the
+// survivors are escalated, and — since the escalation pass re-runs survivors
+// at full width and budget — coverage never drops and aborts never grow
+// relative to the fixed-width run.
+func TestEscalationAdaptiveGrouping(t *testing.T) {
+	for _, name := range []string{"c432", "cmp8"} {
+		c, err := bench.Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		faults := paths.SampleFaults(c, 96, 5)
+		fixed := DefaultOptions(sensitize.Robust)
+		fixed.FaultSimInterval = 0
+		gf := New(c, fixed)
+		gf.Run(context.Background(), faults)
+
+		adaptive := fixed
+		adaptive.EscalationWidth = 32
+		ga := New(c, adaptive)
+		ga.Run(context.Background(), faults)
+
+		sf, sa := gf.Stats(), ga.Stats()
+		if sa.FirstPassSettled+sa.Escalated != sa.Faults {
+			t.Errorf("%s: first-pass %d + escalated %d != faults %d",
+				name, sa.FirstPassSettled, sa.Escalated, sa.Faults)
+		}
+		if sa.Escalated > 0 && sa.Sched.Passes != 2 {
+			t.Errorf("%s: expected 2 scheduler passes with survivors, got %d", name, sa.Sched.Passes)
+		}
+		coverageF := sf.Tested + sf.DetectedBySim
+		coverageA := sa.Tested + sa.DetectedBySim
+		if coverageA < coverageF {
+			t.Errorf("%s: adaptive grouping lost coverage: %d < %d", name, coverageA, coverageF)
+		}
+		if sa.Aborted > sf.Aborted {
+			t.Errorf("%s: adaptive grouping aborted more faults (%d) than fixed width (%d)",
+				name, sa.Aborted, sf.Aborted)
+		}
+		t.Logf("%s: first-pass settled %d/%d, escalated %d, sched %v",
+			name, sa.FirstPassSettled, sa.Faults, sa.Escalated, sa.Sched)
+	}
+}
+
+// TestCancellationDrainsQueue cancels a multi-worker steal-scheduled
+// escalating run mid-flight: RunSharded must return promptly with every
+// fault settled (canceled ones Aborted with the cause), and the scheduler
+// queues must not wedge any worker.
+func TestCancellationDrainsQueue(t *testing.T) {
+	c, err := bench.Get("c432")
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults := paths.SampleFaults(c, 256, 9)
+	opts := DefaultOptions(sensitize.Robust)
+	opts.Schedule = sched.Steal
+	opts.EscalationWidth = 16
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	settled := 0
+	g := New(c, opts)
+	var mu sync.Mutex
+	g.OnSettle = func(FaultResult) {
+		mu.Lock()
+		defer mu.Unlock()
+		settled++
+		if settled == 4 {
+			cancel()
+		}
+	}
+	results := RunSharded(ctx, g, faults, 4)
+	if len(results) != len(faults) {
+		t.Fatalf("got %d results for %d faults", len(results), len(faults))
+	}
+	canceled := 0
+	for _, r := range results {
+		if r.Status == Pending {
+			t.Fatalf("fault %s left Pending after cancellation", r.Fault.Key())
+		}
+		if r.Err != nil {
+			canceled++
+			if r.Status != Aborted {
+				t.Errorf("canceled fault %s has status %v, want Aborted", r.Fault.Key(), r.Status)
+			}
+		}
+	}
+	if canceled == 0 {
+		t.Error("no fault was cut short: cancellation did not interrupt the run")
+	}
+	st := g.Stats()
+	if got := st.Tested + st.Redundant + st.Aborted + st.DetectedBySim; got != st.Faults {
+		t.Errorf("statuses sum to %d, want %d", got, st.Faults)
 	}
 }

@@ -1,0 +1,133 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+)
+
+// GroupingRow is one circuit x engine cell of the grouping ablation: the
+// Tables 5/6 width-economics comparison re-run with three grouping
+// strategies — fault-serial (L=1, the single-bit baseline), fixed full-width
+// word-parallel groups, and two-pass adaptive grouping (fault-serial first,
+// wide groups for the survivors only) — under either the event-driven
+// incremental implication engine or the retained full-sweep oracle.
+//
+// The paper's Tables 5 and 6 show fixed wide grouping beating L=1 by about
+// five times on the full-sweep cost model.  The incremental engine inverted
+// that on easy-fault samples (single-fault implications became nearly free),
+// which is exactly what this ablation makes visible: under "full-sweep" the
+// wide columns win, under "incremental" adaptive grouping recovers the win
+// by paying the word-sharing overhead only on the hard faults.
+type GroupingRow struct {
+	Circuit string
+	Engine  string // "incremental" or "full-sweep"
+
+	SingleTime   time.Duration // L=1 fault-serial generation time (t_single)
+	WideTime     time.Duration // fixed L=WordWidth groups (t_parallel)
+	AdaptiveTime time.Duration // two-pass adaptive grouping
+
+	AbortedSingle   int
+	AbortedWide     int
+	AbortedAdaptive int
+
+	// Escalated is the number of faults the adaptive run escalated into
+	// wide groups (the rest settled in the cheap first pass).
+	Escalated int
+
+	Err error
+}
+
+// groupingEngines names the two implication engines the ablation compares.
+var groupingEngines = []struct {
+	label     string
+	fullSweep bool
+}{
+	{"incremental", false},
+	{"full-sweep", true},
+}
+
+// RunGroupingAblation re-runs the Tables 5/6 comparison over the
+// ISCAS89-class circuits with the three grouping strategies under both
+// implication engines.  The generation times exclude sensitization (which is
+// identical across the strategies), matching the t_single/t_parallel columns
+// of the paper.
+func RunGroupingAblation(cfg Config) []GroupingRow {
+	cfg = cfg.normalize()
+	var rows []GroupingRow
+	for _, name := range table56Circuits {
+		p, ok := bench.ProfileByName(name)
+		if !ok {
+			rows = append(rows, GroupingRow{Circuit: name, Err: fmt.Errorf("unknown profile %q", name)})
+			continue
+		}
+		for _, engine := range groupingEngines {
+			rows = append(rows, cfg.runGroupingRow(p, engine.label, engine.fullSweep))
+		}
+	}
+	return rows
+}
+
+func (cfg Config) runGroupingRow(p bench.Profile, engine string, fullSweep bool) GroupingRow {
+	row := GroupingRow{Circuit: p.Name, Engine: engine}
+	c, err := cfg.circuitFor(p)
+	if err != nil {
+		row.Err = err
+		return row
+	}
+	faults := cfg.sampleFaults(c)
+
+	timeRun := func(opts core.Options) (time.Duration, *core.Generator) {
+		opts.FullSweepImplic = fullSweep
+		start := time.Now()
+		g := cfg.runGenerator(c, opts, faults)
+		total := time.Since(start)
+		gen := total - g.Stats().SensitizeTime
+		if gen <= 0 {
+			gen = time.Microsecond
+		}
+		return gen, g
+	}
+
+	gs := func(g *core.Generator) int { return g.Stats().Aborted }
+
+	var g *core.Generator
+	row.SingleTime, g = timeRun(cfg.singleBitOptions())
+	row.AbortedSingle = gs(g)
+
+	wide := cfg.generatorOptions()
+	wide.EscalationWidth = 0
+	row.WideTime, g = timeRun(wide)
+	row.AbortedWide = gs(g)
+
+	adaptive := cfg.generatorOptions()
+	adaptive.EscalationWidth = adaptive.WordWidth
+	row.AdaptiveTime, g = timeRun(adaptive)
+	row.AbortedAdaptive = gs(g)
+	row.Escalated = g.Stats().Escalated
+	return row
+}
+
+// FormatGroupingTable renders grouping ablation rows in a Tables 5/6-style
+// layout, one line per circuit and engine.
+func FormatGroupingTable(title string, rows []GroupingRow) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", title)
+	fmt.Fprintf(&sb, "%-10s %-12s %12s %12s %12s %10s %16s\n",
+		"Circuit", "engine", "t_single", "t_wide", "t_adaptive", "escalated", "aborted s/w/a")
+	for _, r := range rows {
+		if r.Err != nil {
+			fmt.Fprintf(&sb, "%-10s %-12s error: %v\n", r.Circuit, r.Engine, r.Err)
+			continue
+		}
+		fmt.Fprintf(&sb, "%-10s %-12s %12s %12s %12s %10d %16s\n",
+			r.Circuit, r.Engine,
+			r.SingleTime.Round(time.Microsecond), r.WideTime.Round(time.Microsecond),
+			r.AdaptiveTime.Round(time.Microsecond), r.Escalated,
+			fmt.Sprintf("%d/%d/%d", r.AbortedSingle, r.AbortedWide, r.AbortedAdaptive))
+	}
+	return sb.String()
+}

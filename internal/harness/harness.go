@@ -25,6 +25,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/logic"
 	"repro/internal/paths"
+	"repro/internal/sched"
 	"repro/internal/sensitize"
 )
 
@@ -51,6 +52,13 @@ type Config struct {
 	// (core-level parallelism on top of the word-level bit parallelism).
 	// 0 or 1 runs the sequential generator of the paper.
 	Workers int
+	// Schedule selects the dispatch policy of the sharded runs: static
+	// contiguous pre-assignment or work-stealing (see internal/sched).
+	Schedule sched.Policy
+	// Escalate, when positive, enables two-pass adaptive fault grouping
+	// with the given escalation width: a cheap fault-serial first pass,
+	// then wide word-parallel groups for the survivors only.
+	Escalate int
 	// Compact selects the static test-set compaction applied after every
 	// generator run (compact.None disables it, the default).
 	Compact compact.Level
@@ -130,6 +138,8 @@ func (cfg Config) generatorOptions() core.Options {
 	}
 	o.Compaction = cfg.Compact
 	o.CompactionXFill = cfg.XFill
+	o.Schedule = cfg.Schedule
+	o.EscalationWidth = cfg.Escalate
 	return o
 }
 
@@ -139,6 +149,7 @@ func (cfg Config) singleBitOptions() core.Options {
 	o := cfg.generatorOptions()
 	o.WordWidth = 1
 	o.FaultSimInterval = 1
+	o.EscalationWidth = 0 // escalating into wide groups would defeat the baseline
 	return o
 }
 
@@ -152,6 +163,7 @@ func (cfg Config) structuralBaselineOptions() core.Options {
 	o.UseFPTPG = false
 	o.FaultSimInterval = 0
 	o.SubpathPruning = false
+	o.EscalationWidth = 0
 	return o
 }
 

@@ -1,0 +1,209 @@
+package sched
+
+import (
+	"sync"
+	"testing"
+)
+
+func seq(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func TestGroup(t *testing.T) {
+	units := Group(seq(10), 4)
+	if len(units) != 3 {
+		t.Fatalf("Group(10, 4) = %d units, want 3", len(units))
+	}
+	want := [][]int{{0, 1, 2, 3}, {4, 5, 6, 7}, {8, 9}}
+	for i, u := range units {
+		if len(u.Faults) != len(want[i]) {
+			t.Fatalf("unit %d = %v, want %v", i, u.Faults, want[i])
+		}
+		for j := range u.Faults {
+			if u.Faults[j] != want[i][j] {
+				t.Fatalf("unit %d = %v, want %v", i, u.Faults, want[i])
+			}
+		}
+	}
+	if got := Group(nil, 4); len(got) != 0 {
+		t.Errorf("Group(nil) = %v, want empty", got)
+	}
+	if got := Group(seq(3), 0); len(got) != 3 {
+		t.Errorf("Group with width 0 should clamp to 1, got %d units", len(got))
+	}
+}
+
+// TestLoadBalancesFaultCount checks that the initial contiguous split is
+// balanced by covered fault count, matching the old near-even fault-shard
+// bounds when the units are singletons.
+func TestLoadBalancesFaultCount(t *testing.T) {
+	for _, tc := range []struct {
+		n, workers int
+		wantSizes  []int
+	}{
+		{10, 4, []int{3, 3, 2, 2}},
+		{4, 4, []int{1, 1, 1, 1}},
+		{7, 2, []int{4, 3}},
+	} {
+		s := New(Static, tc.workers)
+		s.Load(Group(seq(tc.n), 1))
+		for w := 0; w < tc.workers; w++ {
+			if got := len(s.queues[w]); got != tc.wantSizes[w] {
+				t.Errorf("n=%d workers=%d: worker %d got %d units, want %d",
+					tc.n, tc.workers, w, got, tc.wantSizes[w])
+			}
+		}
+		// Contiguity and completeness: draining worker queues in worker order
+		// yields 0..n-1.
+		next := 0
+		for w := 0; w < tc.workers; w++ {
+			for {
+				u, ok := s.Next(w)
+				if !ok {
+					break
+				}
+				for _, f := range u.Faults {
+					if f != next {
+						t.Fatalf("n=%d workers=%d: fault %d dispatched out of order (want %d)", tc.n, tc.workers, f, next)
+					}
+					next++
+				}
+			}
+		}
+		if next != tc.n {
+			t.Fatalf("n=%d workers=%d: drained %d faults", tc.n, tc.workers, next)
+		}
+	}
+}
+
+// TestStaticNeverSteals pins the static policy: a worker with an empty queue
+// goes idle even while other queues still hold units, and the idle counter
+// records the units it left behind.
+func TestStaticNeverSteals(t *testing.T) {
+	s := New(Static, 2)
+	s.Load(Group(seq(8), 1))
+	// Worker 1 drains only its own 4 units, then must go idle although
+	// worker 0 still holds 4.
+	for i := 0; i < 4; i++ {
+		if _, ok := s.Next(1); !ok {
+			t.Fatalf("worker 1 ran out after %d units", i)
+		}
+	}
+	if _, ok := s.Next(1); ok {
+		t.Fatal("static worker 1 got a unit from worker 0's queue")
+	}
+	st := s.Stats()
+	if st.Steals != 0 {
+		t.Errorf("static run recorded %d steals", st.Steals)
+	}
+	if st.IdleUnits != 4 {
+		t.Errorf("idle units = %d, want 4 (worker 0's untouched queue)", st.IdleUnits)
+	}
+}
+
+// TestStealRebalances pins the steal policy: an idle worker takes units from
+// the tail of the most loaded peer, and nobody goes idle while queued work
+// remains anywhere.
+func TestStealRebalances(t *testing.T) {
+	s := New(Steal, 2)
+	s.Load(Group(seq(8), 1))
+	// Worker 1 drains its own 4 units, then steals worker 0's entire queue
+	// from the tail.
+	got := 0
+	for {
+		u, ok := s.Next(1)
+		if !ok {
+			break
+		}
+		got += len(u.Faults)
+	}
+	if got != 8 {
+		t.Fatalf("worker 1 processed %d faults, want all 8", got)
+	}
+	st := s.Stats()
+	if st.Steals != 4 {
+		t.Errorf("steals = %d, want 4", st.Steals)
+	}
+	if st.IdleUnits != 0 {
+		t.Errorf("idle units = %d, want 0 under steal", st.IdleUnits)
+	}
+	// Worker 0 finds its queue emptied.
+	if _, ok := s.Next(0); ok {
+		t.Error("worker 0 got a unit after its queue was stolen empty")
+	}
+}
+
+// TestConcurrentDrainIsComplete hammers Next from several goroutines: every
+// unit must be dispatched exactly once under both policies.
+func TestConcurrentDrainIsComplete(t *testing.T) {
+	for _, policy := range []Policy{Static, Steal} {
+		const workers, n = 4, 1000
+		s := New(policy, workers)
+		s.Load(Group(seq(n), 3))
+
+		var mu sync.Mutex
+		seen := make(map[int]int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for {
+					u, ok := s.Next(w)
+					if !ok {
+						return
+					}
+					mu.Lock()
+					for _, f := range u.Faults {
+						seen[f]++
+					}
+					mu.Unlock()
+				}
+			}(w)
+		}
+		wg.Wait()
+		if len(seen) != n {
+			t.Fatalf("%v: dispatched %d distinct faults, want %d", policy, len(seen), n)
+		}
+		for f, c := range seen {
+			if c != 1 {
+				t.Fatalf("%v: fault %d dispatched %d times", policy, f, c)
+			}
+		}
+		if st := s.Stats(); st.Units != (n+2)/3 {
+			t.Errorf("%v: units stat = %d, want %d", policy, st.Units, (n+2)/3)
+		}
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Policy
+		ok   bool
+	}{
+		{"static", Static, true},
+		{"steal", Steal, true},
+		{"wild", Static, false},
+	} {
+		got, err := ParsePolicy(tc.in)
+		if (err == nil) != tc.ok || got != tc.want {
+			t.Errorf("ParsePolicy(%q) = %v, %v", tc.in, got, err)
+		}
+	}
+	if Static.String() != "static" || Steal.String() != "steal" {
+		t.Error("Policy.String spelling changed")
+	}
+}
+
+func TestStatsAdd(t *testing.T) {
+	a := Stats{Passes: 1, Units: 10, Steals: 2, IdleUnits: 3}
+	a.Add(Stats{Passes: 1, Units: 5, Steals: 1, IdleUnits: 4})
+	if a.Passes != 2 || a.Units != 15 || a.Steals != 3 || a.IdleUnits != 7 {
+		t.Errorf("Stats.Add gave %+v", a)
+	}
+}

@@ -22,6 +22,13 @@
 //	go run ./tools/benchcmp -compare prev.json new.json \
 //	    -max-allocs 'BenchmarkImply=0,BenchmarkForwardSim=0'
 //
+// Custom metrics reported with testing.B.ReportMetric (e.g. the compaction
+// "reduction" ratio) are captured during -convert and can be gated with a
+// floor on the new record:
+//
+//	go run ./tools/benchcmp -compare prev.json new.json \
+//	    -min-metric 'BenchmarkCompactionReduction:reduction=0.15'
+//
 // The JSON stores, per benchmark, every ns/op sample (one per -count
 // repetition) and their median; the raw benchmark text is embedded under
 // "raw", so `jq -r .raw old.json > old.txt` recovers input that benchstat
@@ -65,11 +72,19 @@ type Benchmark struct {
 	// MedianAllocsPerOp is the median of AllocsPerOp (0 when absent), the
 	// statistic gated by -max-allocs.
 	MedianAllocsPerOp float64 `json:"median_allocs_per_op,omitempty"`
+	// Metrics holds the samples of custom units reported with
+	// testing.B.ReportMetric (e.g. "reduction"), keyed by unit name.
+	Metrics map[string][]float64 `json:"metrics,omitempty"`
+	// MetricMedians holds the per-unit medians of Metrics, the statistics
+	// gated by -min-metric.
+	MetricMedians map[string]float64 `json:"metric_medians,omitempty"`
 }
 
-// benchLine matches one result line of `go test -bench` output, e.g.
-// "BenchmarkRun/workers=4-8   3   123456789 ns/op   512 B/op   4 allocs/op".
-var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+([0-9.]+) ns/op(?:\s+([0-9.]+) B/op\s+([0-9.]+) allocs/op)?`)
+// benchLine matches the start of one result line of `go test -bench`
+// output; the value/unit pairs after the iteration count are parsed
+// field-wise, so custom ReportMetric units are captured alongside ns/op,
+// B/op and allocs/op.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+(.*)$`)
 
 // procSuffix is the trailing -GOMAXPROCS decoration of benchmark names.
 var procSuffix = regexp.MustCompile(`-\d+$`)
@@ -84,6 +99,7 @@ func main() {
 		keys       = flag.String("key", "BenchmarkRun/workers=4", "comma-separated benchmark names gated by -compare")
 		maxRegress = flag.Float64("max-regress", 25, "maximum allowed ns/op regression of each -key, in percent")
 		maxAllocs  = flag.String("max-allocs", "", "comma-separated name=N allocation budgets gated on the new record (median allocs/op)")
+		minMetric  = flag.String("min-metric", "", "comma-separated name:unit=min floors for custom metrics, gated on the new record (e.g. 'BenchmarkCompactionReduction:reduction=0.15')")
 	)
 	flag.Parse()
 
@@ -96,7 +112,7 @@ func main() {
 		if flag.NArg() != 2 {
 			fatal(fmt.Errorf("-compare needs exactly two arguments: old.json new.json"))
 		}
-		ok, report, err := runCompare(flag.Arg(0), flag.Arg(1), *keys, *maxRegress, *maxAllocs)
+		ok, report, err := runCompare(flag.Arg(0), flag.Arg(1), *keys, *maxRegress, *maxAllocs, *minMetric)
 		if err != nil {
 			fatal(err)
 		}
@@ -144,10 +160,15 @@ func runConvert(in, out, sha string) error {
 	return os.WriteFile(out, data, 0o644)
 }
 
-// Parse extracts the benchmark samples from `go test -bench` output.
+// Parse extracts the benchmark samples from `go test -bench` output.  The
+// value/unit pairs after the iteration count are read pairwise: ns/op, B/op
+// and allocs/op populate their dedicated fields, any other unit (a custom
+// testing.B.ReportMetric unit such as "reduction") is collected under
+// Metrics.
 func Parse(text, sha string) (Record, error) {
 	type samples struct {
 		ns, bytes, allocs []float64
+		metrics           map[string][]float64
 	}
 	byName := make(map[string]*samples)
 	for _, line := range strings.Split(text, "\n") {
@@ -155,28 +176,36 @@ func Parse(text, sha string) (Record, error) {
 		if m == nil {
 			continue
 		}
-		ns, err := strconv.ParseFloat(m[2], 64)
-		if err != nil {
-			return Record{}, fmt.Errorf("bad ns/op in %q: %w", line, err)
+		fields := strings.Fields(m[3])
+		if len(fields) < 2 || len(fields)%2 != 0 {
+			continue
 		}
 		name := procSuffix.ReplaceAllString(m[1], "")
 		s := byName[name]
 		if s == nil {
-			s = &samples{}
+			s = &samples{metrics: make(map[string][]float64)}
 			byName[name] = s
 		}
-		s.ns = append(s.ns, ns)
-		if m[3] != "" {
-			b, err := strconv.ParseFloat(m[3], 64)
+		sawNs := false
+		for i := 0; i+1 < len(fields); i += 2 {
+			value, err := strconv.ParseFloat(fields[i], 64)
 			if err != nil {
-				return Record{}, fmt.Errorf("bad B/op in %q: %w", line, err)
+				return Record{}, fmt.Errorf("bad %s value in %q: %w", fields[i+1], line, err)
 			}
-			a, err := strconv.ParseFloat(m[4], 64)
-			if err != nil {
-				return Record{}, fmt.Errorf("bad allocs/op in %q: %w", line, err)
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				s.ns = append(s.ns, value)
+				sawNs = true
+			case "B/op":
+				s.bytes = append(s.bytes, value)
+			case "allocs/op":
+				s.allocs = append(s.allocs, value)
+			default:
+				s.metrics[unit] = append(s.metrics[unit], value)
 			}
-			s.bytes = append(s.bytes, b)
-			s.allocs = append(s.allocs, a)
+		}
+		if !sawNs {
+			return Record{}, fmt.Errorf("no ns/op column in %q", line)
 		}
 	}
 	if len(byName) == 0 {
@@ -199,6 +228,13 @@ func Parse(text, sha string) (Record, error) {
 		}
 		if len(s.allocs) > 0 {
 			b.MedianAllocsPerOp = median(s.allocs)
+		}
+		if len(s.metrics) > 0 {
+			b.Metrics = s.metrics
+			b.MetricMedians = make(map[string]float64, len(s.metrics))
+			for unit, values := range s.metrics {
+				b.MetricMedians[unit] = median(values)
+			}
 		}
 		rec.Benchmarks = append(rec.Benchmarks, b)
 	}
@@ -249,9 +285,9 @@ func splitList(s string) []string {
 
 // runCompare renders a delta table of every benchmark the two records share
 // and gates on the named keys: ok is false when any key's median ns/op grew
-// by more than maxRegress percent, or when a -max-allocs budget is exceeded
-// in the new record.
-func runCompare(oldPath, newPath, keys string, maxRegress float64, maxAllocs string) (ok bool, report string, err error) {
+// by more than maxRegress percent, when a -max-allocs budget is exceeded in
+// the new record, or when a -min-metric floor is undercut in the new record.
+func runCompare(oldPath, newPath, keys string, maxRegress float64, maxAllocs, minMetric string) (ok bool, report string, err error) {
 	oldRec, err := load(oldPath)
 	if err != nil {
 		return false, "", err
@@ -319,6 +355,35 @@ func runCompare(oldPath, newPath, keys string, maxRegress float64, maxAllocs str
 		} else {
 			fmt.Fprintf(&sb, "\nOK: %s within its allocation budget (%.0f <= %.0f allocs/op)\n",
 				name, nb.MedianAllocsPerOp, limit)
+		}
+	}
+
+	for _, floor := range splitList(minMetric) {
+		spec, limitStr, found := strings.Cut(floor, "=")
+		if !found {
+			return false, sb.String(), fmt.Errorf("bad -min-metric entry %q (want name:unit=min)", floor)
+		}
+		name, unit, found := strings.Cut(spec, ":")
+		if !found {
+			return false, sb.String(), fmt.Errorf("bad -min-metric entry %q (want name:unit=min)", floor)
+		}
+		limit, err := strconv.ParseFloat(limitStr, 64)
+		if err != nil {
+			return false, sb.String(), fmt.Errorf("bad -min-metric floor in %q: %w", floor, err)
+		}
+		nb, foundB := newRec.find(name)
+		if !foundB {
+			return false, sb.String(), fmt.Errorf("benchmark %q missing from %s", name, newPath)
+		}
+		got, hasMetric := nb.MetricMedians[unit]
+		if !hasMetric {
+			return false, sb.String(), fmt.Errorf("benchmark %q reports no %q metric", name, unit)
+		}
+		if got < limit {
+			fmt.Fprintf(&sb, "\nFAIL: %s %s = %.4f (median), below the %.4f floor\n", name, unit, got, limit)
+			ok = false
+		} else {
+			fmt.Fprintf(&sb, "\nOK: %s %s above its floor (%.4f >= %.4f)\n", name, unit, got, limit)
 		}
 	}
 	return ok, sb.String(), nil

@@ -1,0 +1,127 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: repro
+BenchmarkRun/workers=4-8         	       3	 251000000 ns/op
+BenchmarkRun/workers=4-8         	       3	 249000000 ns/op
+BenchmarkRun/schedule=steal-8    	       3	 250000000 ns/op
+BenchmarkImply-8                 	     500	     38000 ns/op	       0 B/op	       0 allocs/op
+BenchmarkCompactionReduction-8   	       3	 252000000 ns/op	         0.2105 reduction
+BenchmarkCompactionReduction-8   	       3	 251000000 ns/op	         0.1900 reduction
+PASS
+`
+
+func TestParseCapturesMetrics(t *testing.T) {
+	rec, err := Parse(sampleBench, "abc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.SHA != "abc" {
+		t.Errorf("sha = %q", rec.SHA)
+	}
+	byName := map[string]Benchmark{}
+	for _, b := range rec.Benchmarks {
+		byName[b.Name] = b
+	}
+	run, ok := byName["BenchmarkRun/workers=4"]
+	if !ok || len(run.NsPerOp) != 2 || run.MedianNsPerOp != 250000000 {
+		t.Errorf("BenchmarkRun/workers=4 parsed wrong: %+v", run)
+	}
+	if _, ok := byName["BenchmarkRun/schedule=steal"]; !ok {
+		t.Error("schedule=steal variant missing")
+	}
+	imply := byName["BenchmarkImply"]
+	if len(imply.AllocsPerOp) != 1 || imply.MedianAllocsPerOp != 0 {
+		t.Errorf("BenchmarkImply benchmem columns parsed wrong: %+v", imply)
+	}
+	red := byName["BenchmarkCompactionReduction"]
+	if len(red.Metrics["reduction"]) != 2 {
+		t.Fatalf("reduction samples = %v", red.Metrics)
+	}
+	if got := red.MetricMedians["reduction"]; got < 0.2 || got > 0.21 {
+		t.Errorf("reduction median = %v, want (0.1900+0.2105)/2", got)
+	}
+}
+
+// writeRecord converts text to a JSON record on disk.
+func writeRecord(t *testing.T, dir, name, text string) string {
+	t.Helper()
+	rec, err := Parse(text, name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name+".json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCompareGates(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeRecord(t, dir, "old", sampleBench)
+
+	// A clean new record: within the regression limit, reduction above floor.
+	newPath := writeRecord(t, dir, "new", sampleBench)
+	ok, report, err := runCompare(oldPath, newPath,
+		"BenchmarkRun/workers=4,BenchmarkRun/schedule=steal", 25,
+		"BenchmarkImply=0", "BenchmarkCompactionReduction:reduction=0.15")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("identical records should pass the gates:\n%s", report)
+	}
+	for _, want := range []string{"schedule=steal", "reduction above its floor"} {
+		if !strings.Contains(report, want) {
+			t.Errorf("report missing %q:\n%s", want, report)
+		}
+	}
+
+	// A regression on the steal key fails.
+	slow := strings.ReplaceAll(sampleBench, "BenchmarkRun/schedule=steal-8    	       3	 250000000",
+		"BenchmarkRun/schedule=steal-8    	       3	 450000000")
+	slowPath := writeRecord(t, dir, "slow", slow)
+	ok, report, err = runCompare(oldPath, slowPath, "BenchmarkRun/schedule=steal", 25, "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok || !strings.Contains(report, "FAIL") {
+		t.Errorf("60%% steal regression should fail the gate:\n%s", report)
+	}
+
+	// A reduction ratio under the floor fails.
+	thin := strings.ReplaceAll(sampleBench, "0.2105 reduction", "0.0500 reduction")
+	thin = strings.ReplaceAll(thin, "0.1900 reduction", "0.0400 reduction")
+	thinPath := writeRecord(t, dir, "thin", thin)
+	ok, report, err = runCompare(oldPath, thinPath, "", 25, "",
+		"BenchmarkCompactionReduction:reduction=0.15")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok || !strings.Contains(report, "below the") {
+		t.Errorf("reduction below the floor should fail the gate:\n%s", report)
+	}
+
+	// Malformed and missing-metric specs are hard errors.
+	if _, _, err := runCompare(oldPath, newPath, "", 25, "", "garbage"); err == nil {
+		t.Error("malformed -min-metric should error")
+	}
+	if _, _, err := runCompare(oldPath, newPath, "", 25, "",
+		"BenchmarkImply:reduction=0.1"); err == nil {
+		t.Error("-min-metric on a benchmark without the metric should error")
+	}
+}
