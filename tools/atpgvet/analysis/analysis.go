@@ -1,0 +1,53 @@
+// Package analysis is the minimal static-analysis kernel atpgvet is built
+// on.  It mirrors the shape of golang.org/x/tools/go/analysis — an Analyzer
+// holds a name, a doc string and a Run function over a Pass; a Pass gives
+// the Run function one type-checked package and a Report sink — but is
+// implemented entirely on the standard library (go/ast, go/types), because
+// this repository builds with zero external module dependencies.  Should the
+// x/tools dependency ever become available, the analyzers port to the real
+// framework by swapping this import; the API subset is intentionally
+// identical.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one self-contained check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //atpgvet:ignore <name> suppression directives.
+	Name string
+	// Doc is the one-paragraph description shown by atpgvet -help.
+	Doc string
+	// Run applies the analyzer to one package.  Diagnostics go through
+	// pass.Report; the returned value is unused (kept for x/tools API
+	// compatibility).
+	Run func(*Pass) (any, error)
+}
+
+// Pass holds the inputs of one analyzer run over one package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Report records one diagnostic.  It is safe to call multiple times per
+	// node; the driver deduplicates identical (position, message) pairs.
+	Report func(Diagnostic)
+}
+
+// Diagnostic is one reported problem.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf formats and reports a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}

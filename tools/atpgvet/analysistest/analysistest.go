@@ -1,0 +1,131 @@
+// Package analysistest runs an analyzer over fixture packages and matches
+// its findings against `// want` expectations, mirroring the x/tools
+// package of the same name.
+//
+// Fixtures live under the analyzer package's testdata/src directory — real
+// packages inside this module (the go command only hides testdata from
+// wildcard patterns, so they are listable by explicit path and may import
+// each other through their full module paths).  An expectation is a
+// trailing comment on the diagnostic's line:
+//
+//	s.Assign() // want `never calls Undo`
+//
+// Each backquoted (or quoted) string is a regexp that must match one
+// finding reported on that line; findings and expectations must match
+// one-to-one.  Suppression directives interact as in production: a
+// well-formed //atpgvet:ignore removes the finding (so the fixture wants
+// nothing), a reasonless one leaves the finding and adds a second
+// "needs a reason" finding on the directive's line.
+package analysistest
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/tools/atpgvet/analysis"
+	"repro/tools/atpgvet/driver"
+)
+
+// Run loads the fixture packages (paths relative to the analyzer package
+// directory, e.g. "./testdata/src/a") and checks the analyzer's findings
+// against the // want expectations in their sources.
+func Run(t *testing.T, a *analysis.Analyzer, patterns ...string) {
+	t.Helper()
+	pkgs, err := driver.Load(".", patterns)
+	if err != nil {
+		t.Fatalf("loading fixtures: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("no fixture packages matched %v", patterns)
+	}
+	findings := driver.Run(pkgs, []*analysis.Analyzer{a})
+
+	type key struct {
+		file string
+		line int
+	}
+	expects := make(map[key][]*regexp.Regexp)
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					res, ok := parseWant(c.Text)
+					if !ok {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					k := key{pos.Filename, pos.Line}
+					expects[k] = append(expects[k], res...)
+				}
+			}
+		}
+	}
+
+	for _, f := range findings {
+		k := key{f.Pos.Filename, f.Pos.Line}
+		matched := false
+		for i, re := range expects[k] {
+			if re.MatchString(f.Message) {
+				expects[k] = append(expects[k][:i], expects[k][i+1:]...)
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected finding: %s: %s", f.Pos, f.Analyzer, f.Message)
+		}
+	}
+	for k, res := range expects {
+		for _, re := range res {
+			t.Errorf("%s:%d: no finding matched `%s`", k.file, k.line, re)
+		}
+	}
+
+	// Fail loudly if a fixture package somehow contains no code (e.g. a
+	// typo in the path pattern).
+	for _, pkg := range pkgs {
+		n := 0
+		for _, f := range pkg.Files {
+			n += len(f.Decls)
+		}
+		if n == 0 {
+			t.Errorf("fixture package %s has no declarations", pkg.ImportPath)
+		}
+	}
+}
+
+// parseWant extracts the regexps of a `// want` comment.
+func parseWant(text string) ([]*regexp.Regexp, bool) {
+	idx := strings.Index(text, "// want ")
+	if idx < 0 {
+		return nil, false
+	}
+	rest := strings.TrimSpace(text[idx+len("// want "):])
+	var out []*regexp.Regexp
+	for rest != "" {
+		var quote byte
+		switch rest[0] {
+		case '`', '"':
+			quote = rest[0]
+		default:
+			break
+		}
+		if quote == 0 {
+			break
+		}
+		end := strings.IndexByte(rest[1:], quote)
+		if end < 0 {
+			break
+		}
+		expr := rest[1 : 1+end]
+		re, err := regexp.Compile(expr)
+		if err != nil {
+			panic(fmt.Sprintf("bad want regexp %q: %v", expr, err))
+		}
+		out = append(out, re)
+		rest = strings.TrimSpace(rest[2+end:])
+	}
+	return out, len(out) > 0
+}

@@ -1,0 +1,133 @@
+// Package ctxloop checks that fault-unit consume loops stay cancelable.
+// The Engine's contract is that cancellation is honored at the next check
+// point; a loop that claims scheduler work units but never polls its
+// context turns "cancel" into "run to completion" — on a service workload,
+// an unbounded leak of compute.
+//
+// A loop is checked when it claims units (calls sched.Scheduler.Next in its
+// condition or body) or when its enclosing function is annotated
+// //atpgvet:ctxloop.  The loop passes when its condition or body reads
+// ctx.Err(), ctx.Done() or selects on a context's Done channel.
+package ctxloop
+
+import (
+	"go/ast"
+
+	"repro/tools/atpgvet/analysis"
+	"repro/tools/atpgvet/astcheck"
+)
+
+// Analyzer is the ctxloop check.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxloop",
+	Doc: `require a context check in every scheduler consume loop
+
+Loops that claim work units from a sched.Scheduler (and every loop in a
+function annotated //atpgvet:ctxloop) must check ctx.Err() or ctx.Done() at
+least once per iteration, so run cancellation stays responsive while the
+scheduler drains.`,
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		for _, scope := range astcheck.Scopes(f) {
+			annotated := scope.Lit == nil && scope.Decl != nil && astcheck.HasAnnotation(scope.Decl, "ctxloop")
+			astcheck.WalkShallow(scope.Body, func(n ast.Node) bool {
+				body, cond, isLoop := loopParts(n)
+				if !isLoop {
+					return true
+				}
+				if !annotated && !callsSchedNext(pass, cond, body) {
+					return true
+				}
+				if !checksContext(pass, cond, body) {
+					pass.Reportf(n.Pos(),
+						"loop claims scheduler work units without checking ctx.Err()/ctx.Done() each iteration; cancellation cannot interrupt it")
+				}
+				return true
+			})
+		}
+	}
+	return nil, nil
+}
+
+// loopParts extracts the condition and body of a for/range statement.
+func loopParts(n ast.Node) (body *ast.BlockStmt, cond ast.Expr, ok bool) {
+	switch n := n.(type) {
+	case *ast.ForStmt:
+		return n.Body, n.Cond, true
+	case *ast.RangeStmt:
+		return n.Body, n.X, true
+	}
+	return nil, nil, false
+}
+
+// callsSchedNext reports whether the loop condition or body (excluding
+// nested function literals and nested loops — a nested claiming loop is
+// checked on its own) calls sched.Scheduler.Next.
+func callsSchedNext(pass *analysis.Pass, cond ast.Expr, body *ast.BlockStmt) bool {
+	found := false
+	check := func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if _, ok := astcheck.IsMethodOn(pass.TypesInfo, call, "sched", "Scheduler", "Next"); ok {
+				found = true
+			}
+		}
+		return !found
+	}
+	if cond != nil {
+		ast.Inspect(cond, check)
+	}
+	if body != nil {
+		walkLoopLocal(body, check)
+	}
+	return found
+}
+
+// walkLoopLocal traverses body without descending into nested function
+// literals or nested loops, so each loop is judged on the statements it
+// executes every iteration.
+func walkLoopLocal(body *ast.BlockStmt, visit func(ast.Node) bool) {
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		switch n.(type) {
+		case *ast.FuncLit, *ast.ForStmt, *ast.RangeStmt:
+			return false
+		}
+		return visit(n)
+	}
+	for _, stmt := range body.List {
+		ast.Inspect(stmt, walk)
+	}
+}
+
+// checksContext reports whether the loop condition or body contains a
+// ctx.Err()/ctx.Done() call or a receive from a context's Done channel.
+func checksContext(pass *analysis.Pass, cond ast.Expr, body *ast.BlockStmt) bool {
+	found := false
+	check := func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return !found
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Err" && sel.Sel.Name != "Done") {
+			return !found
+		}
+		if t := pass.TypesInfo.TypeOf(sel.X); t != nil && astcheck.IsContext(t) {
+			found = true
+		}
+		return !found
+	}
+	if cond != nil {
+		ast.Inspect(cond, check)
+	}
+	if body != nil {
+		walkLoopLocal(body, check)
+	}
+	return found
+}

@@ -1,0 +1,12 @@
+package ctxloop_test
+
+import (
+	"testing"
+
+	"repro/tools/atpgvet/analysistest"
+	"repro/tools/atpgvet/analyzers/ctxloop"
+)
+
+func TestCtxloop(t *testing.T) {
+	analysistest.Run(t, ctxloop.Analyzer, "./testdata/src/a")
+}

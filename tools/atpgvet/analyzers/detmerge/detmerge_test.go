@@ -1,0 +1,12 @@
+package detmerge_test
+
+import (
+	"testing"
+
+	"repro/tools/atpgvet/analysistest"
+	"repro/tools/atpgvet/analyzers/detmerge"
+)
+
+func TestDetmerge(t *testing.T) {
+	analysistest.Run(t, detmerge.Analyzer, "./testdata/src/a")
+}

@@ -1,0 +1,63 @@
+// Package a is the detmerge fixture: map iteration and unstable sorts on
+// the deterministic merge path, reachable-callee propagation, the legal
+// forms, and the suppression cases.
+package a
+
+import "sort"
+
+type result struct {
+	id   int
+	bits uint64
+}
+
+// merge is a deterministic-path root; sortResults is reached from it.
+//
+//atpgvet:deterministic
+func merge(byID map[int]result, order []int) []result {
+	out := make([]result, 0, len(order))
+	for _, id := range order {
+		out = append(out, byID[id])
+	}
+	for id := range byID { // want `range over map`
+		_ = id
+	}
+	sortResults(out)
+	return out
+}
+
+func sortResults(rs []result) {
+	sort.Slice(rs, func(i, j int) bool { return rs[i].id < rs[j].id }) // want `sort.Slice`
+}
+
+// mergeStable uses the stable sort, which is fine.
+//
+//atpgvet:deterministic
+func mergeStable(rs []result) {
+	sort.SliceStable(rs, func(i, j int) bool { return rs[i].id < rs[j].id })
+}
+
+// notOnPath is not reachable from any annotated root, so its map range is
+// not the analyzer's business.
+func notOnPath(m map[int]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+//atpgvet:deterministic
+func absorb(dst, src map[int]bool) {
+	//atpgvet:ignore detmerge -- fixture: order-independent map-to-map copy
+	for k := range src {
+		dst[k] = true
+	}
+}
+
+//atpgvet:deterministic
+func absorbNoReason(dst, src map[int]bool) {
+	//atpgvet:ignore detmerge // want `needs a reason`
+	for k := range src { // want `range over map`
+		dst[k] = true
+	}
+}

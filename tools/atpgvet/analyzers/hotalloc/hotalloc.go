@@ -1,0 +1,213 @@
+// Package hotalloc rejects escape-analysis-visible allocation sites in
+// functions annotated //atpgvet:noalloc — the steady-state hot paths the
+// benchmark gate holds at 0 allocs/op (Imply, ForwardSim, Reset, the word
+// kernels, sched.Next).  The benchcmp gate catches a regression only after
+// a CI bench run on the reference circuit; this check catches the
+// allocation at merge time, on every code path.
+//
+// The check is syntactic and intentionally conservative about the reuse
+// idiom: the canonical self-append `x = append(x, ...)` is allowed (its
+// cost is amortized by the retained capacity of a reused buffer — the
+// pattern every event queue and trail in the engine uses), while any other
+// allocation-shaped construct is reported:
+//
+//   - make, new
+//   - append outside the x = append(x, ...) form
+//   - slice and map composite literals, and &composite (may escape)
+//   - function literals (closure allocation)
+//   - interface boxing: explicit conversion to an interface type, or
+//     passing a non-interface value to an interface parameter (this is how
+//     fmt calls are caught)
+//   - go statements and string concatenation
+//
+// Functions reached from an annotated function through package-local static
+// calls are checked too; cross-package callees must carry their own
+// annotation (export data has no bodies to inspect).
+package hotalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/tools/atpgvet/analysis"
+	"repro/tools/atpgvet/astcheck"
+)
+
+// Analyzer is the hotalloc check.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotalloc",
+	Doc: `reject allocation sites in //atpgvet:noalloc hot paths
+
+Functions annotated //atpgvet:noalloc, and every package-local function
+they reach, may not contain make/new, non-self appends, slice/map/&
+composite literals, closures, interface boxing, go statements or string
+concatenation.  Suppress individual sites with //atpgvet:ignore hotalloc
+-- <reason> when the site provably does not allocate in steady state.`,
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	graph := astcheck.BuildCallGraph(pass.Files, pass.TypesInfo)
+	var roots []*types.Func
+	for fn, decl := range graph.Decls {
+		if astcheck.HasAnnotation(decl, "noalloc") {
+			roots = append(roots, fn)
+		}
+	}
+	if len(roots) == 0 {
+		return nil, nil
+	}
+	for fn := range graph.Reachable(roots) {
+		checkFunc(pass, fn, graph.Decls[fn])
+	}
+	return nil, nil
+}
+
+func checkFunc(pass *analysis.Pass, fn *types.Func, decl *ast.FuncDecl) {
+	info := pass.TypesInfo
+	report := func(pos token.Pos, what string) {
+		pass.Reportf(pos, "%s in %s, which is on a //atpgvet:noalloc hot path", what, fn.Name())
+	}
+	// selfAppends records appends in the allowed x = append(x, ...) reuse
+	// form; ast.Inspect visits the assignment before the call, so the set is
+	// populated before checkCall sees the append.
+	selfAppends := make(map[*ast.CallExpr]bool)
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			report(n.Pos(), "function literal (closure allocation)")
+			return false // the literal body runs under its own budget
+		case *ast.GoStmt:
+			report(n.Pos(), "go statement (goroutine allocation)")
+		case *ast.AssignStmt:
+			markSelfAppend(pass, n, selfAppends)
+		case *ast.CallExpr:
+			checkCall(pass, n, selfAppends, report)
+		case *ast.CompositeLit:
+			checkComposite(pass, n, report)
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					report(n.Pos(), "address of composite literal")
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD {
+				if t := info.TypeOf(n); t != nil {
+					if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+						report(n.Pos(), "string concatenation")
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// markSelfAppend whitelists the self-append reuse idiom: a single-value
+// assignment x = append(x, ...) where the destination expression is
+// syntactically identical to append's first argument.
+func markSelfAppend(pass *analysis.Pass, n *ast.AssignStmt, selfAppends map[*ast.CallExpr]bool) {
+	if len(n.Lhs) != 1 || len(n.Rhs) != 1 {
+		return
+	}
+	call, ok := ast.Unparen(n.Rhs[0]).(*ast.CallExpr)
+	if !ok || !isBuiltin(pass.TypesInfo, call, "append") || len(call.Args) == 0 {
+		return
+	}
+	if types.ExprString(n.Lhs[0]) == types.ExprString(call.Args[0]) {
+		selfAppends[call] = true
+	}
+}
+
+func checkCall(pass *analysis.Pass, call *ast.CallExpr, selfAppends map[*ast.CallExpr]bool, report func(token.Pos, string)) {
+	info := pass.TypesInfo
+	switch {
+	case isBuiltin(info, call, "make"):
+		report(call.Pos(), "make")
+		return
+	case isBuiltin(info, call, "new"):
+		report(call.Pos(), "new")
+		return
+	case isBuiltin(info, call, "append"):
+		if !selfAppends[call] {
+			report(call.Pos(), "append outside the x = append(x, ...) reuse form")
+		}
+		return
+	}
+	// Explicit conversion to an interface type: T(x) with T interface.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		if types.IsInterface(tv.Type) {
+			if len(call.Args) == 1 {
+				if at := info.TypeOf(call.Args[0]); at != nil && !types.IsInterface(at) {
+					report(call.Pos(), "conversion to interface type (boxing)")
+				}
+			}
+		}
+		return
+	}
+	// Interface boxing through a call: a non-interface argument passed to an
+	// interface-typed parameter (fmt-style APIs land here via ...any).
+	sig := callSignature(info, call)
+	if sig == nil {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // forwarding an existing slice does not box
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if pt == nil || !types.IsInterface(pt) {
+			continue
+		}
+		if at := info.TypeOf(arg); at != nil && !types.IsInterface(at) && !isUntypedNil(info, arg) {
+			report(arg.Pos(), "argument boxed into interface parameter")
+		}
+	}
+}
+
+// checkComposite flags slice and map literals; struct and array value
+// literals do not allocate and pass.
+func checkComposite(pass *analysis.Pass, lit *ast.CompositeLit, report func(token.Pos, string)) {
+	t := pass.TypesInfo.TypeOf(lit)
+	if t == nil {
+		return
+	}
+	switch t.Underlying().(type) {
+	case *types.Slice:
+		report(lit.Pos(), "slice literal")
+	case *types.Map:
+		report(lit.Pos(), "map literal")
+	}
+}
+
+func isBuiltin(info *types.Info, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = info.Uses[id].(*types.Builtin)
+	return ok
+}
+
+func callSignature(info *types.Info, call *ast.CallExpr) *types.Signature {
+	t := info.TypeOf(call.Fun)
+	if t == nil {
+		return nil
+	}
+	sig, _ := t.Underlying().(*types.Signature)
+	return sig
+}
+
+func isUntypedNil(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[ast.Unparen(e)]
+	return ok && tv.IsNil()
+}

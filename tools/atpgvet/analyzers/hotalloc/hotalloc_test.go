@@ -1,0 +1,12 @@
+package hotalloc_test
+
+import (
+	"testing"
+
+	"repro/tools/atpgvet/analysistest"
+	"repro/tools/atpgvet/analyzers/hotalloc"
+)
+
+func TestHotalloc(t *testing.T) {
+	analysistest.Run(t, hotalloc.Analyzer, "./testdata/src/a")
+}

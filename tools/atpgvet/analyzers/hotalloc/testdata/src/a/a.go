@@ -1,0 +1,79 @@
+// Package a is the hotalloc fixture: allocation sites in annotated hot
+// paths, reachable-callee propagation, the allowed reuse idioms, and the
+// suppression cases.
+package a
+
+type word struct{ lo, hi uint64 }
+
+// hotKernel is clean itself but reaches helper, which allocates.
+//
+//atpgvet:noalloc
+func hotKernel(dst, src []uint64) int {
+	n := 0
+	for i := range src {
+		dst[i] = src[i] &^ 7
+		n++
+	}
+	helper(dst)
+	return n
+}
+
+func helper(xs []uint64) {
+	_ = make([]uint64, 4) // want `make`
+}
+
+//atpgvet:noalloc
+func badAppend(xs []uint64, x uint64) []uint64 {
+	ys := append(xs, x) // want `append outside`
+	return ys
+}
+
+// selfAppend is the engine's buffer-reuse idiom and is allowed.
+//
+//atpgvet:noalloc
+func selfAppend(buf []uint64, x uint64) []uint64 {
+	buf = append(buf, x)
+	return buf
+}
+
+//atpgvet:noalloc
+func boxes(x int) {
+	sink(x) // want `boxed into interface parameter`
+}
+
+func sink(v any) { _ = v }
+
+//atpgvet:noalloc
+func sliceLit() {
+	_ = []int{1, 2} // want `slice literal`
+}
+
+//atpgvet:noalloc
+func closure() {
+	f := func() {} // want `function literal`
+	f()
+}
+
+//atpgvet:noalloc
+func concat(a, b string) string {
+	return a + b // want `string concatenation`
+}
+
+// structOK returns a struct value literal, which does not allocate.
+//
+//atpgvet:noalloc
+func structOK() word {
+	return word{lo: 1}
+}
+
+//atpgvet:noalloc
+func suppressedWarm(n int) []uint64 {
+	//atpgvet:ignore hotalloc -- fixture: one-time warm-up allocation outside the steady state
+	return make([]uint64, n)
+}
+
+//atpgvet:noalloc
+func reasonlessWarm(n int) []uint64 {
+	//atpgvet:ignore hotalloc // want `needs a reason`
+	return make([]uint64, n) // want `make`
+}

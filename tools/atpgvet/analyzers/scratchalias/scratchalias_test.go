@@ -1,0 +1,12 @@
+package scratchalias_test
+
+import (
+	"testing"
+
+	"repro/tools/atpgvet/analysistest"
+	"repro/tools/atpgvet/analyzers/scratchalias"
+)
+
+func TestScratchalias(t *testing.T) {
+	analysistest.Run(t, scratchalias.Analyzer, "./testdata/src/a")
+}

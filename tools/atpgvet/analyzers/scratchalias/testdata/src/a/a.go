@@ -1,0 +1,95 @@
+// Package a is the scratchalias fixture: retained, grown and stale uses of
+// State-owned scratch slices, the legal local-iteration forms, the
+// //atpgvet:scratch annotation, and the suppression cases.
+package a
+
+import "repro/tools/atpgvet/analyzers/scratchalias/testdata/src/implic"
+
+type holder struct{ saved []int }
+
+var global []int
+
+func storeField(h *holder, s *implic.State) {
+	h.saved = s.Unjustified(0) // want `non-local location`
+}
+
+func storeGlobal(s *implic.State) {
+	x := s.Unjustified(0)
+	global = x // want `package-level variable`
+}
+
+func storeFieldLater(h *holder, s *implic.State) {
+	u := s.Unjustified(0)
+	h.saved = u // want `stored in h.saved`
+}
+
+func returnScratch(s *implic.State) []int {
+	return s.Unjustified(0) // want `returned to the caller`
+}
+
+func returnBinding(s *implic.State) []int {
+	u := s.Unjustified(0)
+	return u // want `returned to the caller`
+}
+
+func appendScratch(s *implic.State) {
+	u := s.Unjustified(0)
+	u = append(u, 7) // want `grows a State-owned buffer`
+	_ = u
+}
+
+func useAfterMutation(s *implic.State) int {
+	u := s.Unjustified(0)
+	s.Imply()
+	return u[0] // want `used after a mutating call`
+}
+
+func mutateInRange(s *implic.State) {
+	for range s.Unjustified(0) {
+		s.Assign() // want `mutates the scratch slice being iterated`
+	}
+}
+
+// localIterate is the legal form: consume the scratch before the next call
+// on the receiver.
+func localIterate(s *implic.State) int {
+	sum := 0
+	for _, n := range s.Unjustified(1) {
+		sum += n
+	}
+	u := s.Unjustified(2)
+	for _, n := range u {
+		sum += n
+	}
+	return sum
+}
+
+// Wrap re-exports the scratch buffer legally by carrying the annotation.
+type Wrap struct{ st *implic.State }
+
+// Frontier hands out the State's scratch buffer unchanged.
+//
+//atpgvet:scratch
+func (w *Wrap) Frontier() []int {
+	return w.st.Unjustified(0)
+}
+
+func reexport(w *Wrap) []int {
+	return w.Frontier() // want `returned to the caller`
+}
+
+func useFrontier(w *Wrap) int {
+	total := 0
+	for _, n := range w.Frontier() {
+		total += n
+	}
+	return total
+}
+
+func suppressedStore(h *holder, s *implic.State) {
+	h.saved = s.Unjustified(0) //atpgvet:ignore scratchalias -- fixture: holder is consumed before the next State call
+}
+
+func reasonlessStore(h *holder, s *implic.State) {
+	h.saved = s.Unjustified(0) //atpgvet:ignore scratchalias // want `needs a reason` `non-local location`
+}

@@ -1,0 +1,25 @@
+// Package implic mocks the engine's implication state for scratchalias
+// fixtures; the analyzer matches by (package path suffix "implic", type
+// State, method name).
+package implic
+
+// State mimics repro/internal/implic.State's scratch-slice interface.
+type State struct{ buf []int }
+
+// Unjustified returns a State-owned scratch slice.
+func (s *State) Unjustified(level int) []int { return s.buf }
+
+// Assign is a mutating call.
+func (s *State) Assign() {}
+
+// Undo is a mutating call.
+func (s *State) Undo() {}
+
+// Imply is a mutating call.
+func (s *State) Imply() bool { return true }
+
+// Reset is a mutating call.
+func (s *State) Reset() {}
+
+// ForwardSim is a mutating call.
+func (s *State) ForwardSim() {}

@@ -1,0 +1,73 @@
+// Package a is the trailpair fixture: Assign/Undo pairing violations, the
+// accepted forms, and the suppression directive cases.
+package a
+
+import "repro/tools/atpgvet/analyzers/trailpair/testdata/src/implic"
+
+func missingUndo(s *implic.State) {
+	s.Assign() // want `never calls Undo`
+}
+
+func earlyReturn(s *implic.State, bad bool) {
+	s.Assign()
+	if bad {
+		return // want `may leak an open trail frame`
+	}
+	s.Undo()
+}
+
+func trailingOpen(s *implic.State) {
+	s.Assign()
+	s.Undo()
+	s.Assign() // want `no Undo on the remaining paths`
+}
+
+func inLit(s *implic.State) {
+	f := func() {
+		s.Assign() // want `never calls Undo`
+	}
+	f()
+	s.Assign()
+	s.Undo()
+}
+
+// deferredUnwind is the recommended form for functions with early returns.
+func deferredUnwind(s *implic.State, bad bool) {
+	defer func() {
+		for s.Depth() > 0 {
+			s.Undo()
+		}
+	}()
+	s.Assign()
+	if bad {
+		return
+	}
+	s.Assign()
+}
+
+func deferredDirect(s *implic.State) {
+	s.Assign()
+	defer s.Undo()
+}
+
+func balanced(s *implic.State) {
+	s.Assign()
+	s.Undo()
+}
+
+func suppressedLeak(s *implic.State) {
+	//atpgvet:ignore trailpair -- fixture: frame is reclaimed by the caller's Reset
+	s.Assign()
+}
+
+func reasonlessLeak(s *implic.State) {
+	s.Assign() //atpgvet:ignore trailpair // want `needs a reason` `never calls Undo`
+}
+
+func badDirectives(s *implic.State) {
+	s.Assign() //atpgvet:ignore nosuchanalyzer -- suppresses nothing // want `unknown analyzer`
+	s.Undo()
+	//atpgvet:ignore -- no analyzer named // want `malformed directive`
+	s.Assign()
+	s.Undo()
+}

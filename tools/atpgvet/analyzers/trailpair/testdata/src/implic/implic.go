@@ -1,0 +1,17 @@
+// Package implic mocks the engine's implication state for trailpair
+// fixtures: the analyzer matches methods by (package path suffix "implic",
+// type State, method name), so this stand-in is indistinguishable from the
+// real package.
+package implic
+
+// State mimics repro/internal/implic.State's trail interface.
+type State struct{ depth int }
+
+// Assign opens a trail frame.
+func (s *State) Assign() { s.depth++ }
+
+// Undo closes the most recent frame.
+func (s *State) Undo() { s.depth-- }
+
+// Depth reports the number of open frames.
+func (s *State) Depth() int { return s.depth }

@@ -1,0 +1,137 @@
+// Package trailpair checks that every implic.State.Assign (a trail frame
+// open) is balanced by an Undo on the paths out of the enclosing function,
+// in the spirit of classic lock/unlock pairing analyzers.  A leaked frame
+// means the next backtrack in the decision loop restores the wrong state —
+// the bug only surfaces as an equivalence failure many operations later, so
+// it is enforced here at compile time instead.
+package trailpair
+
+import (
+	"go/ast"
+	"go/token"
+
+	"repro/tools/atpgvet/analysis"
+	"repro/tools/atpgvet/astcheck"
+)
+
+// Analyzer is the trailpair check.
+var Analyzer = &analysis.Analyzer{
+	Name: "trailpair",
+	Doc: `check that implic.State.Assign frames are balanced by Undo
+
+A function that opens a trail frame with State.Assign must close it on every
+path out of the function: either with explicit Undo calls, or — the robust
+form for functions with early returns — with a deferred unwind that calls
+Undo.  Functions that open frames and never Undo, return between an Assign
+and its Undo, or fall off the end with an open frame are reported.`,
+	Run: run,
+}
+
+const (
+	implicPkg = "implic"
+	stateType = "State"
+)
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		for _, scope := range astcheck.Scopes(f) {
+			checkScope(pass, scope)
+		}
+	}
+	return nil, nil
+}
+
+// checkScope applies the pairing rules to one function-like scope.  The
+// analysis is lexical, not a full CFG: Assign/Undo positions are compared in
+// source order, which matches how the decision loops of the generator are
+// written, and a deferred unwind (the recommended form) always satisfies the
+// check.  Function literals are separate scopes, except that a deferred
+// literal's Undo calls count for the scope that defers it.
+func checkScope(pass *analysis.Pass, scope *astcheck.FuncScope) {
+	var (
+		assigns   []token.Pos
+		undos     []token.Pos
+		deferUndo bool
+		returns   []token.Pos
+	)
+	astcheck.WalkShallow(scope.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if _, ok := astcheck.IsMethodOn(pass.TypesInfo, n, implicPkg, stateType, "Assign"); ok {
+				assigns = append(assigns, n.Pos())
+			}
+			if _, ok := astcheck.IsMethodOn(pass.TypesInfo, n, implicPkg, stateType, "Undo"); ok {
+				undos = append(undos, n.Pos())
+			}
+		case *ast.DeferStmt:
+			if deferCallsUndo(pass, n) {
+				deferUndo = true
+			}
+		case *ast.ReturnStmt:
+			returns = append(returns, n.Pos())
+		}
+		return true
+	})
+	if len(assigns) == 0 {
+		return
+	}
+	if deferUndo {
+		return
+	}
+	if len(undos) == 0 {
+		pass.Reportf(assigns[0],
+			"%s opens a trail frame (implic.State.Assign) but never calls Undo; add Undo on every exit path or a deferred unwind", scope.Name())
+		return
+	}
+	// Early return between a frame open and its close.
+	firstAssign := assigns[0]
+	for _, r := range returns {
+		if r <= firstAssign {
+			continue
+		}
+		if !undoBetween(undos, firstAssign, r) {
+			pass.Reportf(r,
+				"return may leak an open trail frame (implic.State.Assign without Undo before this return); use a deferred unwind for early exits")
+		}
+	}
+	// Falling off the end (or looping back) with the last frame still open.
+	lastAssign := assigns[len(assigns)-1]
+	lastUndo := undos[len(undos)-1]
+	if lastUndo < lastAssign {
+		pass.Reportf(lastAssign,
+			"trail frame opened here has no Undo on the remaining paths of %s; use a deferred unwind", scope.Name())
+	}
+}
+
+// undoBetween reports whether some Undo lies in the (open, closed] position
+// interval.
+func undoBetween(undos []token.Pos, after, until token.Pos) bool {
+	for _, u := range undos {
+		if u > after && u <= until {
+			return true
+		}
+	}
+	return false
+}
+
+// deferCallsUndo reports whether the deferred call is State.Undo directly or
+// a function literal whose body (at any depth) calls State.Undo.
+func deferCallsUndo(pass *analysis.Pass, d *ast.DeferStmt) bool {
+	if _, ok := astcheck.IsMethodOn(pass.TypesInfo, d.Call, implicPkg, stateType, "Undo"); ok {
+		return true
+	}
+	lit, ok := d.Call.Fun.(*ast.FuncLit)
+	if !ok {
+		return false
+	}
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if _, ok := astcheck.IsMethodOn(pass.TypesInfo, call, implicPkg, stateType, "Undo"); ok {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

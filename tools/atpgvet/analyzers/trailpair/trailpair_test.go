@@ -1,0 +1,12 @@
+package trailpair_test
+
+import (
+	"testing"
+
+	"repro/tools/atpgvet/analysistest"
+	"repro/tools/atpgvet/analyzers/trailpair"
+)
+
+func TestTrailpair(t *testing.T) {
+	analysistest.Run(t, trailpair.Analyzer, "./testdata/src/a")
+}

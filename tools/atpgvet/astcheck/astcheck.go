@@ -1,0 +1,211 @@
+// Package astcheck holds the AST and type inspection helpers shared by the
+// atpgvet analyzers: engine-type matching, annotation directives, a
+// same-package call graph, and function-scope traversal.
+package astcheck
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// IsMethodOn reports whether the call invokes the named method on a
+// (pointer to a) named type typeName defined in a package whose import path
+// ends with pkgSuffix, and returns the receiver expression.  Matching by
+// (package suffix, type, method) instead of the full import path lets
+// analysistest fixtures mock the engine types in testdata packages.
+func IsMethodOn(info *types.Info, call *ast.CallExpr, pkgSuffix, typeName, method string) (ast.Expr, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != method {
+		return nil, false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return nil, false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil, false
+	}
+	named := NamedRecv(sig.Recv().Type())
+	if named == nil {
+		return nil, false
+	}
+	obj := named.Obj()
+	if obj.Name() != typeName || obj.Pkg() == nil || !PathHasSuffix(obj.Pkg().Path(), pkgSuffix) {
+		return nil, false
+	}
+	return sel.X, true
+}
+
+// NamedRecv strips pointers off a receiver type and returns its named type.
+func NamedRecv(t types.Type) *types.Named {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// PathHasSuffix reports whether an import path equals suffix or ends with
+// "/"+suffix.
+func PathHasSuffix(path, suffix string) bool {
+	return path == suffix || strings.HasSuffix(path, "/"+suffix)
+}
+
+// HasAnnotation reports whether the function declaration carries the
+// //atpgvet:<name> directive in its doc comment group.
+func HasAnnotation(decl *ast.FuncDecl, name string) bool {
+	if decl.Doc == nil {
+		return false
+	}
+	directive := "//atpgvet:" + name
+	for _, c := range decl.Doc.List {
+		if c.Text == directive || strings.HasPrefix(c.Text, directive+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// FuncScope is one function-like body: a declared function/method or a
+// function literal.  Nested literals are separate scopes.
+type FuncScope struct {
+	// Decl is the enclosing declaration (also set for literals, pointing at
+	// the declaration the literal appears in, if any).
+	Decl *ast.FuncDecl
+	// Lit is non-nil for function literal scopes.
+	Lit  *ast.FuncLit
+	Body *ast.BlockStmt
+}
+
+// Name returns a human-readable name for diagnostics.
+func (s *FuncScope) Name() string {
+	if s.Lit != nil {
+		if s.Decl != nil {
+			return "func literal in " + s.Decl.Name.Name
+		}
+		return "func literal"
+	}
+	return s.Decl.Name.Name
+}
+
+// Scopes returns every function-like scope of the file in source order.
+func Scopes(f *ast.File) []*FuncScope {
+	var out []*FuncScope
+	for _, d := range f.Decls {
+		decl, ok := d.(*ast.FuncDecl)
+		if !ok || decl.Body == nil {
+			continue
+		}
+		out = append(out, &FuncScope{Decl: decl, Body: decl.Body})
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				out = append(out, &FuncScope{Decl: decl, Lit: lit, Body: lit.Body})
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// WalkShallow visits the nodes of body without descending into nested
+// function literals, so per-scope checks do not leak across scopes.
+func WalkShallow(body *ast.BlockStmt, visit func(ast.Node) bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if n == nil {
+			return false
+		}
+		return visit(n)
+	})
+}
+
+// CallGraph maps every function or method declared in the package to the
+// package-local functions it calls directly (static calls only: identifier
+// and selector calls that resolve to a declared *types.Func).
+type CallGraph struct {
+	Decls map[*types.Func]*ast.FuncDecl
+	Calls map[*types.Func][]*types.Func
+}
+
+// BuildCallGraph constructs the same-package static call graph.
+func BuildCallGraph(files []*ast.File, info *types.Info) *CallGraph {
+	g := &CallGraph{
+		Decls: make(map[*types.Func]*ast.FuncDecl),
+		Calls: make(map[*types.Func][]*types.Func),
+	}
+	for _, f := range files {
+		for _, d := range f.Decls {
+			decl, ok := d.(*ast.FuncDecl)
+			if !ok || decl.Body == nil {
+				continue
+			}
+			fn, ok := info.Defs[decl.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			g.Decls[fn] = decl
+		}
+	}
+	for fn, decl := range g.Decls {
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if callee := Callee(info, call); callee != nil {
+				if _, local := g.Decls[callee]; local {
+					g.Calls[fn] = append(g.Calls[fn], callee)
+				}
+			}
+			return true
+		})
+	}
+	return g
+}
+
+// Callee resolves the static callee of a call, or nil for dynamic calls.
+func Callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// Reachable returns the set of declared functions reachable from the roots
+// through package-local static calls, including the roots themselves.
+func (g *CallGraph) Reachable(roots []*types.Func) map[*types.Func]bool {
+	seen := make(map[*types.Func]bool)
+	var visit func(fn *types.Func)
+	visit = func(fn *types.Func) {
+		if seen[fn] {
+			return
+		}
+		seen[fn] = true
+		for _, callee := range g.Calls[fn] {
+			visit(callee)
+		}
+	}
+	for _, r := range roots {
+		visit(r)
+	}
+	return seen
+}
+
+// IsContext reports whether t is context.Context.
+func IsContext(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}

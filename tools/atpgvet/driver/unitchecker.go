@@ -1,0 +1,124 @@
+package driver
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"io"
+	"os"
+	"strings"
+
+	"repro/tools/atpgvet/analysis"
+)
+
+// This file implements the `go vet -vettool` side of atpgvet.  The go
+// command invokes the tool once per package with a single argument, a JSON
+// config file (*.cfg) describing the package: its source files, the import
+// map and the export-data file of every dependency (all pre-built by the go
+// command).  The tool type-checks the package, runs its analyzers, writes
+// the (empty) facts file the protocol requires and reports diagnostics on
+// stderr with a non-zero exit when there are findings — the same contract
+// golang.org/x/tools/go/analysis/unitchecker implements.
+
+// vetConfig mirrors the fields of the go command's vet config file that the
+// driver consumes (cmd/go writes a superset).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// RunUnitchecker executes one vet protocol invocation and returns the
+// process exit code.  Diagnostics are printed to stderr.
+func RunUnitchecker(cfgFile string, analyzers []*analysis.Analyzer) int {
+	cfg, err := readVetConfig(cfgFile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "atpgvet: %v\n", err)
+		return 1
+	}
+	// The protocol requires the facts file even when nothing is reported.
+	// atpgvet analyzers exchange no facts, so the file is always empty.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "atpgvet: %v\n", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+	// The engine invariants target production code.  go vet compiles a
+	// package with tests as its augmented unit "p [p.test]" (there is no
+	// separate plain unit), so that unit is analyzed and findings in
+	// *_test.go files are dropped afterwards; external "p_test" packages and
+	// generated ".test" mains contain only test code and are skipped whole.
+	if isTestOnlyUnit(cfg) {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	imp := exportImporter(fset, func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok || file == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	pkg, err := check(fset, imp, cfg.ImportPath, cfg.Dir, cfg.GoFiles)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "atpgvet: %v\n", err)
+		return 1
+	}
+	var findings []Finding
+	for _, f := range Run([]*Package{pkg}, analyzers) {
+		if strings.HasSuffix(f.Pos.Filename, "_test.go") {
+			continue
+		}
+		findings = append(findings, f)
+		fmt.Fprintln(os.Stderr, f)
+	}
+	if len(findings) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// isTestOnlyUnit reports whether the config describes a compilation unit
+// containing only test code: an external "p_test" package or a generated
+// ".test" main.  The augmented "p [p.test]" unit is NOT test-only — it
+// carries the production sources.
+func isTestOnlyUnit(cfg *vetConfig) bool {
+	base := cfg.ImportPath
+	if i := strings.Index(base, " ["); i >= 0 {
+		base = base[:i]
+	}
+	return strings.HasSuffix(base, "_test") || strings.HasSuffix(base, ".test")
+}
+
+func readVetConfig(path string) (*vetConfig, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return nil, fmt.Errorf("parsing vet config %s: %v", path, err)
+	}
+	return &cfg, nil
+}

@@ -1,0 +1,119 @@
+// Command atpgvet is the repository's custom static-analysis suite: five
+// analyzers that mechanically enforce the generation engine's sharp-edged
+// invariants (trail frame pairing, scratch-slice aliasing, deterministic
+// merge, zero-alloc hot paths, cancelable consume loops).  See
+// docs/ARCHITECTURE.md, "Enforced invariants".
+//
+// It runs in two modes:
+//
+//	atpgvet ./...                         # standalone, like staticcheck
+//	go vet -vettool=$(which atpgvet) ./... # as a go vet tool
+//
+// Suppress a finding with a trailing comment carrying a mandatory reason:
+//
+//	//atpgvet:ignore <analyzer> -- <reason>
+//
+// The suite is built on the stdlib-only kernel in tools/atpgvet/analysis;
+// it has no module dependencies, so there is no golang.org/x/tools version
+// to manage — the analyzers port to the x/tools multichecker by swapping
+// that import if the dependency is ever introduced (see analysis package
+// doc).
+package main
+
+import (
+	"crypto/sha256"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/tools/atpgvet/analysis"
+	"repro/tools/atpgvet/analyzers/ctxloop"
+	"repro/tools/atpgvet/analyzers/detmerge"
+	"repro/tools/atpgvet/analyzers/hotalloc"
+	"repro/tools/atpgvet/analyzers/scratchalias"
+	"repro/tools/atpgvet/analyzers/trailpair"
+	"repro/tools/atpgvet/driver"
+)
+
+// version participates in go vet's content-addressed action cache: bump it
+// whenever analyzer behavior changes, or stale results may be replayed.
+const version = "v1.0.0"
+
+// Analyzers is the multichecker's analyzer set.
+var Analyzers = []*analysis.Analyzer{
+	trailpair.Analyzer,
+	scratchalias.Analyzer,
+	detmerge.Analyzer,
+	hotalloc.Analyzer,
+	ctxloop.Analyzer,
+}
+
+func main() {
+	vFlag := flag.String("V", "", "print version and exit (the go vet tool protocol passes -V=full)")
+	flagsFlag := flag.Bool("flags", false, "print the tool's flags as JSON (go vet tool protocol)")
+	jsonFlag := flag.Bool("json", false, "accepted for go vet compatibility (ignored)")
+	flag.Usage = usage
+	flag.Parse()
+	_ = jsonFlag
+
+	switch {
+	case *vFlag != "":
+		// The go command hashes this line into its build cache key, so it
+		// must change whenever the tool changes: include a content hash of
+		// the executable, like x/tools' unitchecker does.
+		fmt.Printf("atpgvet version %s sum %s\n", version, selfHash())
+		return
+	case *flagsFlag:
+		fmt.Println("[]")
+		return
+	}
+
+	args := flag.Args()
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		// go vet -vettool mode: one JSON config file per package.
+		os.Exit(driver.RunUnitchecker(args[0], Analyzers))
+	}
+
+	// Standalone mode.
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	pkgs, err := driver.Load(".", args)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "atpgvet: %v\n", err)
+		os.Exit(1)
+	}
+	findings := driver.Run(pkgs, Analyzers)
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		os.Exit(1)
+	}
+}
+
+// selfHash returns a short content hash of the running executable, so that
+// rebuilding the tool invalidates go vet's cached results.
+func selfHash() string {
+	exe, err := os.Executable()
+	if err != nil {
+		return "unknown"
+	}
+	data, err := os.ReadFile(exe)
+	if err != nil {
+		return "unknown"
+	}
+	sum := sha256.Sum256(data)
+	return fmt.Sprintf("%x", sum[:12])
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, "usage: atpgvet [packages]\n\nAnalyzers:\n")
+	for _, a := range Analyzers {
+		doc, _, _ := strings.Cut(a.Doc, "\n")
+		fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, doc)
+	}
+	fmt.Fprintf(os.Stderr, "\nSuppressions: %s <analyzer> -- <reason>\n", driver.IgnorePrefix)
+	flag.PrintDefaults()
+}
