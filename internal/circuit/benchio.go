@@ -218,7 +218,14 @@ func ParseBench(name string, r io.Reader) (*Circuit, error) {
 		b.PseudoOutput(id)
 	}
 
-	return b.Build()
+	c, err := b.Build()
+	if err != nil {
+		// Builder errors (duplicate names, no primary inputs, ...) are not
+		// tied to a single line, but callers still rely on every ParseBench
+		// failure being a *ParseError that names the source.
+		return nil, &ParseError{File: name, Err: err}
+	}
+	return c, nil
 }
 
 // ParseBenchString is a convenience wrapper around ParseBench.

@@ -1,0 +1,89 @@
+package circuit_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/circuit"
+)
+
+// TestParseBuilderErrorsAreParseErrors pins the fix for builder-stage
+// failures (duplicate names, no primary inputs) escaping ParseBench without
+// the ParseError wrapper.
+func TestParseBuilderErrorsAreParseErrors(t *testing.T) {
+	for _, src := range []string{
+		"INPUT(a)\nINPUT(a)\n",
+		"# a comment, but no inputs\n",
+	} {
+		_, err := circuit.ParseBenchString("t.bench", src)
+		if err == nil {
+			t.Fatalf("ParseBenchString(%q) succeeded, want error", src)
+		}
+		var pe *circuit.ParseError
+		if !errors.As(err, &pe) || pe.File != "t.bench" {
+			t.Errorf("ParseBenchString(%q) error = %T (%v), want *ParseError naming the source", src, err, err)
+		}
+	}
+}
+
+// FuzzParse feeds the .bench parser arbitrary input.  The repository ships
+// no .bench files — circuits are generated — so the seed corpus is the
+// serialized form of every generator in internal/bench plus a handful of
+// malformed shapes.  Invariants: the parser never panics, every error is a
+// *ParseError carrying the source name, and parsing is a fixpoint under
+// WriteBench serialization.
+func FuzzParse(f *testing.F) {
+	seeds := []*circuit.Circuit{
+		bench.C17(),
+		bench.PaperExample(),
+		bench.RedundantExample(),
+		bench.Adder(2),
+		bench.ParityTree(3),
+		bench.MuxTree(2),
+		bench.Comparator(2),
+	}
+	for _, c := range seeds {
+		f.Add(circuit.BenchString(c))
+	}
+	f.Add("")
+	f.Add("# comment only\n")
+	f.Add("INPUT(a)\nOUTPUT(z)\nz = AND(a, b)\n")
+	f.Add("z = AND(z)\n")
+	f.Add("INPUT(a)\nINPUT(a)\n")
+	f.Add("OUTPUT(q)\nq = NAND(a b)\n")
+	f.Add("INPUT(a)\nOUTPUT(a)\na = NOT(a)\n")
+	f.Add("INPUT(\nOUTPUT)\n= ()\n")
+
+	f.Fuzz(func(t *testing.T, src string) {
+		c, err := circuit.ParseBenchString("fuzz.bench", src)
+		if err != nil {
+			var pe *circuit.ParseError
+			if !errors.As(err, &pe) {
+				t.Fatalf("error is not a *ParseError: %T: %v", err, err)
+			}
+			if pe.File != "fuzz.bench" {
+				t.Fatalf("ParseError.File = %q, want %q", pe.File, "fuzz.bench")
+			}
+			if pe.Line < 0 {
+				t.Fatalf("ParseError.Line = %d, want >= 0", pe.Line)
+			}
+			if !strings.HasPrefix(pe.Error(), "fuzz.bench") {
+				t.Fatalf("ParseError message %q does not lead with the source name", pe.Error())
+			}
+			return
+		}
+		// A circuit the parser accepts must serialize to a form it accepts
+		// again, and serialization must be a fixpoint of the round trip
+		// (same source name, since the name is part of the emitted header).
+		out := circuit.BenchString(c)
+		c2, err := circuit.ParseBenchString("fuzz.bench", out)
+		if err != nil {
+			t.Fatalf("round-trip parse failed: %v\nserialized:\n%s", err, out)
+		}
+		if got := circuit.BenchString(c2); got != out {
+			t.Fatalf("round-trip is not a fixpoint:\nfirst:\n%s\nsecond:\n%s", out, got)
+		}
+	})
+}
