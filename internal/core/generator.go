@@ -139,6 +139,7 @@ func (g *Generator) Fork() *Generator {
 // afterwards.
 func (g *Generator) absorbState(w *Generator) {
 	g.stats.Add(w.stats)
+	//atpgvet:ignore detmerge -- order-independent map-to-map copy; the set union is the same whatever the iteration order
 	for k := range w.redundantPrefixes {
 		g.redundantPrefixes[k] = true
 	}
@@ -202,6 +203,8 @@ func (g *Generator) Run(ctx context.Context, faults []paths.Fault) []FaultResult
 // after its unit is claimed, so the eager scope shrinks to the claimed
 // records and each claimed unit is instead swept once against the patterns
 // that accumulated before it was claimed.
+//
+//atpgvet:ctxloop
 func (g *Generator) consume(ctx context.Context, sc *sched.Scheduler, w int, recs []*rec, ps passSpec) {
 	exclusive := sc.Workers() == 1
 	scope := recs
@@ -214,6 +217,7 @@ func (g *Generator) consume(ctx context.Context, sc *sched.Scheduler, w int, rec
 			return
 		}
 		unit := make([]*rec, len(u.Faults))
+		//atpgvet:ignore ctxloop -- bounded setup loop over one claimed unit (at most a word of faults), not a claim loop
 		for i, f := range u.Faults {
 			unit[i] = recs[f]
 			unit[i].worker = w
@@ -584,6 +588,17 @@ func (g *Generator) runAPTPG(ctx context.Context, r *rec, ps passSpec) {
 	// exact pre-decision closure and simulation.  The full-sweep oracle has
 	// no trail and rebuilds the remaining decisions from scratch instead.
 	useTrail := !g.opts.FullSweepImplic
+	if useTrail {
+		// Every exit from the search (test emitted, redundancy proof, budget
+		// exhaustion, cancellation) must close the frames it opened: a frame
+		// leaked across faults makes a later backtrack restore another
+		// fault's state, which surfaces as an equivalence failure much later.
+		defer func() {
+			for g.st.Depth() > 0 {
+				g.st.Undo()
+			}
+		}()
+	}
 
 	rebuild := func() {
 		g.st.ClearPI(logic.AllLevels)
