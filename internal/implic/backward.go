@@ -37,6 +37,17 @@ func (s *State) backImply(g *circuit.Gate) bool {
 	return false
 }
 
+// faninVal reads the implied value of a fanin net, complemented when the
+// enclosing gate is being solved in its OR dual.  It is a method rather than
+// a closure so the backward-implication path stays closure-free (hotalloc).
+func (s *State) faninVal(net circuit.NetID, dual bool) logic.Word7 {
+	v := s.Val[net]
+	if dual {
+		return v.Not()
+	}
+	return v
+}
+
 // mergeInto merges w into Val[net] at the active levels and reports change.
 // The write goes through mergeVal, so it is trailed and (in incremental
 // mode) schedules the propagation events of the changed net.
@@ -52,14 +63,6 @@ func (s *State) mergeInto(net circuit.NetID, w logic.Word7) bool {
 // seven-valued word swaps only the final-value planes, so stability
 // information dualises correctly.
 func (s *State) backImplyAnd(outCore logic.Word7, fanin []circuit.NetID, dual bool) bool {
-	inVal := func(net circuit.NetID) logic.Word7 {
-		v := s.Val[net]
-		if dual {
-			return v.Not()
-		}
-		return v
-	}
-
 	f1 := outCore.One &^ outCore.Zero
 	f0 := outCore.Zero &^ outCore.One
 	st := outCore.Stable
@@ -82,7 +85,7 @@ func (s *State) backImplyAnd(outCore logic.Word7, fanin []circuit.NetID, dual bo
 					if j == i {
 						continue
 					}
-					othersStable &= inVal(other).Stable
+					othersStable &= s.faninVal(other, dual).Stable
 				}
 				req.Instable = f1 & inst & othersStable
 				req.One |= req.Instable
@@ -107,7 +110,7 @@ func (s *State) backImplyAnd(outCore logic.Word7, fanin []circuit.NetID, dual bo
 				if j == i {
 					continue
 				}
-				othersOne &= inVal(other).One
+				othersOne &= s.faninVal(other, dual).One
 			}
 			forced := f0 & othersOne
 			if forced == 0 {
