@@ -161,6 +161,8 @@ func runPasses(opts Options, recs []*rec, stats *Stats, workers int, drain func(
 // remapped onto the merged set.  Cross-worker simulation drops keep index -1
 // here and are reconciled by reconcileDrops.  Worker statistics and
 // learned redundant subpaths are absorbed into the master.
+//
+//atpgvet:deterministic
 func mergeResults(master *Generator, gens []*Generator, recs []*rec, results []FaultResult) {
 	type patKey struct{ worker, index int }
 	remap := make(map[patKey]int)

@@ -167,6 +167,8 @@ func (s *State) Circuit() *circuit.Circuit { return s.c }
 
 // Reset clears all planes and sets the active bit level mask.  Only nets
 // written since the previous Reset are cleared.
+//
+//atpgvet:noalloc
 func (s *State) Reset(active uint64) {
 	for _, n := range s.touched {
 		s.Req[n] = logic.Word7{}
@@ -284,6 +286,8 @@ func (s *State) PIValue(net circuit.NetID) logic.Word7 { return s.PI[net] }
 //
 // Only nets whose Req or PI changed since the previous Imply seed new
 // propagation; unchanged regions of the circuit are not revisited.
+//
+//atpgvet:noalloc
 func (s *State) Imply() uint64 {
 	if s.FullSweep {
 		return s.implyFull()
@@ -430,6 +434,8 @@ func (s *State) evalGate(g *circuit.Gate, vals []logic.Word7) logic.Word7 {
 // values are actually produced by the inputs chosen so far, and therefore
 // which requirements are justified.  Only the fanout cones of inputs whose
 // assignment changed since the previous call are re-evaluated.
+//
+//atpgvet:noalloc
 func (s *State) ForwardSim() {
 	if s.FullSweep {
 		s.forwardSimFull()

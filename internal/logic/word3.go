@@ -219,6 +219,8 @@ func ParseWord3(s string) (Word3, error) {
 // inputs.  All 64 bit levels are evaluated simultaneously using plane-wide
 // boolean operations.  The result at levels where some input holds the
 // conflict encoding is unspecified.
+//
+//atpgvet:noalloc
 func EvalGate3(kind Kind, in []Word3) Word3 {
 	switch kind {
 	case Buf, Input:

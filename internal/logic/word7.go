@@ -261,6 +261,8 @@ func ParseWord7(s string) (Word7, error) {
 // EvalGate7 evaluates a gate of the given kind over bit-parallel seven-valued
 // inputs.  The result at levels where some input holds a conflict encoding is
 // unspecified.
+//
+//atpgvet:noalloc
 func EvalGate7(kind Kind, in []Word7) Word7 {
 	switch kind {
 	case Buf, Input:

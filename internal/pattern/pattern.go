@@ -218,6 +218,8 @@ func (s *Set) Len() int { return len(s.Pairs) }
 // tracked by either set, its unfilled form) to s and returns the index the
 // first appended pair received.  The pairs themselves are shared, not
 // copied; they are treated as immutable after generation.
+//
+//atpgvet:deterministic
 func (s *Set) Append(other *Set) int {
 	base := len(s.Pairs)
 	if other == nil {
@@ -245,6 +247,8 @@ func (s *Set) Append(other *Set) int {
 // received.  It is the single-pair counterpart of Append, used by the
 // sharded merge to reassemble worker sets in canonical fault order.  The
 // pair is shared, not copied (pairs are immutable after generation).
+//
+//atpgvet:deterministic
 func (s *Set) AddFrom(other *Set, i int) int {
 	idx := len(s.Pairs)
 	if s.Unfilled != nil || other.Unfilled != nil {
@@ -307,6 +311,8 @@ func (s *Set) Truncate(n int) {
 // "#~ unfilled:" annotation when the set tracks an unfilled form that
 // differs from the pair.  The output depends only on the set's contents, so
 // equal sets always serialize to identical bytes.
+//
+//atpgvet:deterministic
 func (s *Set) Write(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	if len(s.InputNames) > 0 {

@@ -164,6 +164,8 @@ func (s *Scheduler) Load(units []Unit) {
 // under the Steal policy — the tail of the most loaded peer's queue.  It
 // returns ok=false when no unit is available anywhere, which is final for
 // the current load: the worker should exit.
+//
+//atpgvet:noalloc
 func (s *Scheduler) Next(worker int) (Unit, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
