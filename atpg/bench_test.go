@@ -1,12 +1,13 @@
-// Package repro holds the repository-level benchmarks that regenerate every
-// table and figure of the paper's evaluation (see DESIGN.md for the
-// experiment index and EXPERIMENTS.md for paper-versus-measured results).
+// The repository-level benchmarks regenerate every table and figure of the
+// paper's evaluation (see DESIGN.md for the experiment index and
+// EXPERIMENTS.md for paper-versus-measured results).  They live in the atpg
+// package directory because the public facade is the layer they exercise.
 //
 // The benchmarks run the same harness code as cmd/experiments, but on
 // scaled-down circuit stand-ins and smaller fault samples so that
-// `go test -bench=.` completes in minutes.  Full-size runs are produced with
-// `go run ./cmd/experiments -all`.
-package repro
+// `go test -bench=. ./atpg` completes in minutes.  Full-size runs are
+// produced with `go run ./cmd/experiments -all`.
+package atpg_test
 
 import (
 	"context"
@@ -130,6 +131,25 @@ func BenchmarkRun(b *testing.B) {
 	b.Run("schedule=steal", func(b *testing.B) {
 		run(b, atpg.WithWorkers(4), atpg.WithSchedule(atpg.ScheduleSteal))
 	})
+	// Testability-guided routing with the auto-derived escalation width.
+	// The reported skiprate metric — the fraction of faults the hardness
+	// prediction routed past the cheap first pass — is gated by CI through
+	// tools/benchcmp -min-metric: a refactor that silently stops predicting
+	// anything hard turns guidance into dead weight and fails the gate.
+	b.Run("guided", func(b *testing.B) {
+		skip := 0.0
+		for i := 0; i < b.N; i++ {
+			e, err := atpg.New(c, atpg.WithWorkers(4), atpg.WithGuidedEscalation(true))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := e.Run(context.Background(), faults); err != nil {
+				b.Fatal(err)
+			}
+			skip = e.Stats().SkipRate()
+		}
+		b.ReportMetric(skip, "skiprate")
+	})
 }
 
 // BenchmarkGrouping measures the width economics on the c7552 easy-fault
@@ -152,6 +172,8 @@ func BenchmarkGrouping(b *testing.B) {
 		{"serial=1", []atpg.Option{atpg.WithWordWidth(1), atpg.WithInterleavedSim(1)}},
 		{"adaptive=8", []atpg.Option{atpg.WithEscalation(8)}},
 		{"adaptive=64", []atpg.Option{atpg.WithEscalation(atpg.MaxWordWidth)}},
+		{"guided=auto", []atpg.Option{atpg.WithGuidedEscalation(true)}},
+		{"guided=64", []atpg.Option{atpg.WithEscalation(atpg.MaxWordWidth), atpg.WithGuidedEscalation(true)}},
 	} {
 		b.Run(v.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {

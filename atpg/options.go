@@ -223,9 +223,26 @@ func WithEscalation(width int) Option {
 	}
 }
 
+// WithGuidedEscalation turns testability-guided search on or off (default:
+// off).  The engine scores every target fault with SCOAP-style
+// controllability/observability measures computed once per circuit; faults
+// above the hardness threshold skip the cheap first pass of adaptive
+// grouping and go straight to the wide escalation pass, work units are
+// ordered hardest first with cost-weighted scheduler splits, and — when
+// [WithEscalation] was not used — the escalation width is derived from the
+// score distribution of the run's faults.  Guidance only routes and orders
+// work, so which faults end up covered does not depend on it; the
+// first-pass skip rate is reported by [Stats.SkipRate].
+func WithGuidedEscalation(on bool) Option {
+	return func(c *engineConfig) error {
+		c.opts.GuidedEscalation = on
+		return nil
+	}
+}
+
 // WithFirstPassBudget sets the backtrack budget of the cheap fault-serial
 // first pass of adaptive grouping (default: 1).  It only takes effect
-// together with [WithEscalation].
+// together with [WithEscalation] or [WithGuidedEscalation].
 func WithFirstPassBudget(n int) Option {
 	return func(c *engineConfig) error {
 		if n < 1 {

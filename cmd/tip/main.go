@@ -30,6 +30,7 @@ func main() {
 		workers     = flag.Int("workers", 1, "worker goroutines to shard the fault list across (0 = one per core)")
 		schedule    = flag.String("schedule", "static", "multi-worker dispatch policy: static (contiguous pre-split) or steal (work-stealing)")
 		escalate    = flag.Int("escalate", 0, "adaptive grouping escalation width W: run every fault fault-serial first, escalate survivors into W-wide groups (0 = off)")
+		guided      = flag.Bool("guided", false, "testability-guided search: predicted-hard faults skip the first pass, hardest-first unit ordering, auto-tuned escalation width when -escalate is 0")
 		backtracks  = flag.Int("backtracks", 64, "backtrack limit per fault")
 		noFPTPG     = flag.Bool("no-fptpg", false, "disable fault-parallel generation")
 		noAPTPG     = flag.Bool("no-aptpg", false, "disable alternative-parallel generation")
@@ -82,6 +83,7 @@ func main() {
 		atpg.WithWorkers(*workers),
 		atpg.WithSchedule(sched),
 		atpg.WithEscalation(*escalate),
+		atpg.WithGuidedEscalation(*guided),
 		atpg.WithBacktrackLimit(*backtracks),
 		atpg.WithFaultParallel(!*noFPTPG),
 		atpg.WithAlternativeParallel(!*noAPTPG),
@@ -98,7 +100,11 @@ func main() {
 	if e.Workers() != 1 {
 		fmt.Printf("workers: %d (schedule %s)\n", e.Workers(), sched)
 	}
-	if *escalate > 0 {
+	switch {
+	case *guided:
+		fmt.Printf("testability-guided adaptive grouping, escalation width %s\n",
+			widthLabel(*escalate))
+	case *escalate > 0:
 		fmt.Printf("adaptive grouping: fault-serial first pass, escalation width %d\n", *escalate)
 	}
 
@@ -120,9 +126,13 @@ func main() {
 	st := e.Stats()
 	fmt.Printf("result: %s\n", st)
 	fmt.Printf("sensitization time: %s, generation time: %s\n", st.SensitizeTime, st.GenerateTime)
-	if *escalate > 0 {
-		fmt.Printf("escalation: %d faults settled fault-serial, %d escalated to width %d\n",
-			st.FirstPassSettled, st.Escalated, *escalate)
+	if *escalate > 0 || *guided {
+		fmt.Printf("escalation: %d faults settled fault-serial, %d escalated to width %s\n",
+			st.FirstPassSettled, st.Escalated, widthLabel(*escalate))
+	}
+	if *guided {
+		fmt.Printf("guided routing: %d/%d faults predicted hard, first-pass skip rate %.1f%%\n",
+			st.PredictedHard, st.Faults, 100*st.SkipRate())
 	}
 	if e.Workers() != 1 {
 		fmt.Printf("scheduling: %s\n", st.Sched)
@@ -142,6 +152,15 @@ func main() {
 		}
 		fmt.Printf("wrote %d test pairs to %s\n", e.Tests().Len(), *out)
 	}
+}
+
+// widthLabel names an escalation width: the explicit value, or "auto" when
+// guided escalation derives it from the score distribution.
+func widthLabel(escalate int) string {
+	if escalate > 0 {
+		return fmt.Sprintf("%d", escalate)
+	}
+	return "auto"
 }
 
 func fail(err error) {

@@ -2,116 +2,17 @@
 // generator: starting from an unjustified value requirement at an internal
 // net, it walks backwards through unassigned nets to a primary input and
 // proposes an input assignment that helps justify the requirement.  Input
-// selection is guided by SCOAP-style controllability measures.
+// selection is guided by the SCOAP-style controllability measures of
+// internal/testability (shared with the rest of the generator through the
+// per-circuit cache).
 package backtrace
 
 import (
 	"repro/internal/circuit"
 	"repro/internal/implic"
 	"repro/internal/logic"
+	"repro/internal/testability"
 )
-
-// Controllability holds SCOAP-style controllability measures: CC0[n] and
-// CC1[n] estimate the effort of setting net n to 0 and to 1.
-type Controllability struct {
-	CC0 []int
-	CC1 []int
-}
-
-const maxCC = 1 << 28 // saturation bound to avoid overflow on deep circuits
-
-// NewControllability computes the controllability measures of the circuit
-// with a single topological sweep.
-func NewControllability(c *circuit.Circuit) *Controllability {
-	n := c.NumNets()
-	cc := &Controllability{CC0: make([]int, n), CC1: make([]int, n)}
-	for _, id := range c.TopoOrder() {
-		g := c.Gate(id)
-		switch g.Kind {
-		case logic.Input:
-			cc.CC0[id], cc.CC1[id] = 1, 1
-		case logic.Const0:
-			cc.CC0[id], cc.CC1[id] = 1, maxCC
-		case logic.Const1:
-			cc.CC0[id], cc.CC1[id] = maxCC, 1
-		case logic.Buf:
-			cc.CC0[id] = sat(cc.CC0[g.Fanin[0]] + 1)
-			cc.CC1[id] = sat(cc.CC1[g.Fanin[0]] + 1)
-		case logic.Not:
-			cc.CC0[id] = sat(cc.CC1[g.Fanin[0]] + 1)
-			cc.CC1[id] = sat(cc.CC0[g.Fanin[0]] + 1)
-		case logic.And, logic.Nand:
-			sum1, min0 := 0, maxCC
-			for _, f := range g.Fanin {
-				sum1 = sat(sum1 + cc.CC1[f])
-				if cc.CC0[f] < min0 {
-					min0 = cc.CC0[f]
-				}
-			}
-			c1 := sat(sum1 + 1)
-			c0 := sat(min0 + 1)
-			if g.Kind == logic.And {
-				cc.CC1[id], cc.CC0[id] = c1, c0
-			} else {
-				cc.CC0[id], cc.CC1[id] = c1, c0
-			}
-		case logic.Or, logic.Nor:
-			sum0, min1 := 0, maxCC
-			for _, f := range g.Fanin {
-				sum0 = sat(sum0 + cc.CC0[f])
-				if cc.CC1[f] < min1 {
-					min1 = cc.CC1[f]
-				}
-			}
-			c0 := sat(sum0 + 1)
-			c1 := sat(min1 + 1)
-			if g.Kind == logic.Or {
-				cc.CC0[id], cc.CC1[id] = c0, c1
-			} else {
-				cc.CC1[id], cc.CC0[id] = c0, c1
-			}
-		case logic.Xor, logic.Xnor:
-			// Two-level approximation: cost of making the parity even/odd.
-			even, odd := 0, maxCC
-			for _, f := range g.Fanin {
-				ne := minInt(sat(even+cc.CC0[f]), sat(odd+cc.CC1[f]))
-				no := minInt(sat(even+cc.CC1[f]), sat(odd+cc.CC0[f]))
-				even, odd = ne, no
-			}
-			c0 := sat(even + 1)
-			c1 := sat(odd + 1)
-			if g.Kind == logic.Xor {
-				cc.CC0[id], cc.CC1[id] = c0, c1
-			} else {
-				cc.CC0[id], cc.CC1[id] = c1, c0
-			}
-		}
-	}
-	return cc
-}
-
-func sat(v int) int {
-	if v > maxCC {
-		return maxCC
-	}
-	return v
-}
-
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
-
-// Cost returns the controllability cost of setting net to the given final
-// value.
-func (cc *Controllability) Cost(net circuit.NetID, v logic.Value3) int {
-	if v == logic.Zero3 {
-		return cc.CC0[net]
-	}
-	return cc.CC1[net]
-}
 
 // Objective is the result of a backtrace: a primary input and the final
 // value it should be driven to.
@@ -127,7 +28,7 @@ type Objective struct {
 // reports ok=false when no such input exists (the requirement cannot be
 // helped by a new input assignment, typically because the level is already
 // doomed to conflict).
-func Backtrace(st *implic.State, cc *Controllability, net circuit.NetID, want logic.Value7, level int) (Objective, bool) {
+func Backtrace(st *implic.State, m *testability.Measures, net circuit.NetID, want logic.Value7, level int) (Objective, bool) {
 	c := st.Circuit()
 	cur := net
 	cur7 := want
@@ -145,7 +46,7 @@ func Backtrace(st *implic.State, cc *Controllability, net circuit.NetID, want lo
 			}
 			return Objective{Input: cur, Value: curWant}, true
 		}
-		next, nextWant, ok := step(st, cc, g, curWant, level)
+		next, nextWant, ok := step(st, m, g, curWant, level)
 		if !ok {
 			return Objective{}, false
 		}
@@ -157,7 +58,7 @@ func Backtrace(st *implic.State, cc *Controllability, net circuit.NetID, want lo
 
 // step chooses the fanin of g to descend into, and the value wanted there,
 // in order to produce want at the output of g.
-func step(st *implic.State, cc *Controllability, g *circuit.Gate, want logic.Value3, level int) (circuit.NetID, logic.Value3, bool) {
+func step(st *implic.State, m *testability.Measures, g *circuit.Gate, want logic.Value3, level int) (circuit.NetID, logic.Value3, bool) {
 	switch g.Kind {
 	case logic.Buf:
 		return g.Fanin[0], want, unassigned(st, g.Fanin[0], level)
@@ -202,7 +103,7 @@ func step(st *implic.State, cc *Controllability, g *circuit.Gate, want logic.Val
 			if !unassigned(st, f, level) {
 				continue
 			}
-			cost := cc.Cost(f, inputWant)
+			cost := m.Cost(f, inputWant)
 			if best == circuit.InvalidNet ||
 				(needAll && cost > bestCost) || // hardest first when all inputs are needed
 				(!needAll && cost < bestCost) { // easiest first when one input suffices
@@ -230,7 +131,7 @@ func step(st *implic.State, cc *Controllability, g *circuit.Gate, want logic.Val
 				continue
 			}
 			allOthersKnown = false
-			cost := cc.Cost(f, logic.Zero3)
+			cost := m.Cost(f, logic.Zero3)
 			if best == circuit.InvalidNet || cost < bestCost {
 				best, bestCost = f, cost
 			}

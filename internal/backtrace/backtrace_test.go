@@ -7,85 +7,14 @@ import (
 	"repro/internal/circuit"
 	"repro/internal/implic"
 	"repro/internal/logic"
+	"repro/internal/testability"
 )
-
-func TestControllabilityBasics(t *testing.T) {
-	c := bench.C17()
-	cc := NewControllability(c)
-	for _, in := range c.Inputs() {
-		if cc.CC0[in] != 1 || cc.CC1[in] != 1 {
-			t.Errorf("input %s controllability should be 1/1", c.NetName(in))
-		}
-	}
-	// NAND gate 10 = NAND(1,3): setting it to 0 requires both inputs at 1
-	// (cost 1+1+1 = 3), setting it to 1 requires one input at 0 (cost 2).
-	n10 := c.NetByName("10")
-	if cc.CC0[n10] != 3 {
-		t.Errorf("CC0(10) = %d, want 3", cc.CC0[n10])
-	}
-	if cc.CC1[n10] != 2 {
-		t.Errorf("CC1(10) = %d, want 2", cc.CC1[n10])
-	}
-	// Deeper gates are harder to control than shallower ones.
-	n22 := c.NetByName("22")
-	if cc.CC0[n22] <= cc.CC0[n10] {
-		t.Errorf("CC0(22)=%d should exceed CC0(10)=%d", cc.CC0[n22], cc.CC0[n10])
-	}
-	if cc.Cost(n10, logic.Zero3) != cc.CC0[n10] || cc.Cost(n10, logic.One3) != cc.CC1[n10] {
-		t.Error("Cost accessor inconsistent")
-	}
-}
-
-func TestControllabilityAllKinds(t *testing.T) {
-	b := circuit.NewBuilder("kinds")
-	a := b.Input("a")
-	bb := b.Input("b")
-	and := b.Gate("and", logic.And, a, bb)
-	or := b.Gate("or", logic.Or, a, bb)
-	xor := b.Gate("xor", logic.Xor, a, bb)
-	xnor := b.Gate("xnor", logic.Xnor, a, bb)
-	not := b.Gate("not", logic.Not, a)
-	buf := b.Gate("buf", logic.Buf, bb)
-	z0 := b.Const("z0", false)
-	z1 := b.Const("z1", true)
-	top := b.Gate("top", logic.Or, and, or, xor, xnor, not, buf, z0, z1)
-	b.Output(top)
-	c, err := b.Build()
-	if err != nil {
-		t.Fatal(err)
-	}
-	cc := NewControllability(c)
-	if cc.CC1[and] != 3 || cc.CC0[and] != 2 {
-		t.Errorf("AND controllability %d/%d, want CC0=2 CC1=3", cc.CC0[and], cc.CC1[and])
-	}
-	if cc.CC0[or] != 3 || cc.CC1[or] != 2 {
-		t.Errorf("OR controllability %d/%d, want CC0=3 CC1=2", cc.CC0[or], cc.CC1[or])
-	}
-	if cc.CC0[xor] != 3 || cc.CC1[xor] != 3 {
-		t.Errorf("XOR controllability %d/%d, want 3/3", cc.CC0[xor], cc.CC1[xor])
-	}
-	if cc.CC0[xnor] != 3 || cc.CC1[xnor] != 3 {
-		t.Errorf("XNOR controllability %d/%d, want 3/3", cc.CC0[xnor], cc.CC1[xnor])
-	}
-	if cc.CC0[not] != 2 || cc.CC1[not] != 2 {
-		t.Errorf("NOT controllability %d/%d, want 2/2", cc.CC0[not], cc.CC1[not])
-	}
-	if cc.CC0[buf] != 2 || cc.CC1[buf] != 2 {
-		t.Errorf("BUF controllability %d/%d, want 2/2", cc.CC0[buf], cc.CC1[buf])
-	}
-	if cc.CC0[z0] != 1 || cc.CC1[z0] != maxCC {
-		t.Errorf("CONST0 controllability %d/%d", cc.CC0[z0], cc.CC1[z0])
-	}
-	if cc.CC1[z1] != 1 || cc.CC0[z1] != maxCC {
-		t.Errorf("CONST1 controllability %d/%d", cc.CC0[z1], cc.CC1[z1])
-	}
-}
 
 func TestBacktraceDirectInput(t *testing.T) {
 	c := bench.C17()
 	st := implic.NewState(c)
 	st.Reset(1)
-	cc := NewControllability(c)
+	cc := testability.Analyze(c)
 	in2 := c.NetByName("2")
 	st.ForwardSim()
 	obj, ok := Backtrace(st, cc, in2, logic.Final1, 0)
@@ -108,7 +37,7 @@ func TestBacktraceThroughGates(t *testing.T) {
 	st := implic.NewState(c)
 	st.Reset(1)
 	st.ForwardSim()
-	cc := NewControllability(c)
+	cc := testability.Analyze(c)
 
 	// Justify 16 = NAND(2,11) to 0: all inputs must be 1, so the objective
 	// is one of the inputs driven towards 1 (through NAND 11 this means its
@@ -149,7 +78,7 @@ func TestBacktraceRepeatedJustification(t *testing.T) {
 	// Repeatedly backtracing and assigning must eventually justify a
 	// requirement on every gate of c17 (both values), never looping.
 	c := bench.C17()
-	cc := NewControllability(c)
+	cc := testability.Analyze(c)
 	for _, g := range c.Gates() {
 		if c.IsInput(g.ID) {
 			continue
@@ -211,7 +140,7 @@ func TestBacktraceXorParity(t *testing.T) {
 	st.AssignPI(a, logic.Stable1, 1)
 	st.AssignPI(bb, logic.Stable0, 1)
 	st.ForwardSim()
-	cc := NewControllability(c)
+	cc := testability.Analyze(c)
 	// With a=1 and b=0 known, making x=0 requires c=1.
 	obj, ok := Backtrace(st, cc, x, logic.Final0, 0)
 	if !ok {
@@ -235,7 +164,7 @@ func TestBacktraceFailsWhenEverythingAssigned(t *testing.T) {
 		st.AssignPI(in, logic.Stable1, 1)
 	}
 	st.ForwardSim()
-	cc := NewControllability(c)
+	cc := testability.Analyze(c)
 	// 22 simulates to 1 under the all-ones vector; asking to justify 22=0
 	// cannot propose any new input.
 	if _, ok := Backtrace(st, cc, c.NetByName("22"), logic.Final0, 0); ok {

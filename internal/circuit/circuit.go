@@ -11,6 +11,7 @@ package circuit
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/logic"
 )
@@ -68,6 +69,35 @@ type Circuit struct {
 
 	maxLevel int
 	numDFF   int
+
+	// memo caches derived analyses keyed by an analysis-owned key type (see
+	// Memo).  It is the only mutable state of a Circuit; everything above is
+	// frozen by Build.
+	memoMu sync.Mutex
+	memo   map[any]any
+}
+
+// Memo returns the value cached under key, calling compute and caching its
+// result on the first request.  It lets analysis packages attach derived,
+// circuit-lifetime data (e.g. testability measures) to the circuit they were
+// computed from, so independent consumers share one computation without a
+// global registry that would outlive the circuit.
+//
+// Each caller should key with its own unexported struct type, which cannot
+// collide across packages.  Memo is safe for concurrent use; compute runs
+// under the cache lock and must not call Memo on the same circuit.
+func (c *Circuit) Memo(key any, compute func() any) any {
+	c.memoMu.Lock()
+	defer c.memoMu.Unlock()
+	if v, ok := c.memo[key]; ok {
+		return v
+	}
+	if c.memo == nil {
+		c.memo = make(map[any]any)
+	}
+	v := compute()
+	c.memo[key] = v
+	return v
 }
 
 // NumNets returns the number of nets (gates plus primary inputs).

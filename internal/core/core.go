@@ -177,9 +177,18 @@ type Options struct {
 	// default) keeps the single fixed-width pass.
 	EscalationWidth int
 	// FirstPassBacktracks is the APTPG backtrack budget of the cheap first
-	// pass of adaptive grouping; 0 selects 1.  It is ignored while
-	// EscalationWidth is 0.
+	// pass of adaptive grouping; 0 selects 1.  It is ignored while both
+	// EscalationWidth and GuidedEscalation are off.
 	FirstPassBacktracks int
+	// GuidedEscalation turns on testability-guided search: every target
+	// fault is scored with the circuit's SCOAP-style measures
+	// (internal/testability), faults above the hardness threshold skip the
+	// cheap first pass and go straight to the wide escalation pass, and work
+	// units are ordered hardest first with cost-weighted scheduler splits.
+	// With EscalationWidth 0 the escalation width is derived from the score
+	// distribution (testability.AutoWidth).  Guidance reorders and routes
+	// work; the per-fault search itself is unchanged.
+	GuidedEscalation bool
 }
 
 // DefaultOptions returns the configuration used by the experiments: robust
@@ -244,7 +253,7 @@ func (o Options) normalize() Options {
 	if o.EscalationWidth > logic.WordWidth {
 		o.EscalationWidth = logic.WordWidth
 	}
-	if o.EscalationWidth > 0 && o.FirstPassBacktracks <= 0 {
+	if (o.EscalationWidth > 0 || o.GuidedEscalation) && o.FirstPassBacktracks <= 0 {
 		o.FirstPassBacktracks = 1
 	}
 	return o
@@ -261,13 +270,20 @@ type passSpec struct {
 }
 
 // passes returns the pass sequence the options select: one full-width pass,
-// or — with adaptive grouping — a cheap fault-serial pass followed by a wide
-// escalation pass for its survivors.
+// or — with adaptive grouping or guided escalation — a cheap fault-serial
+// pass followed by a wide escalation pass for its survivors.  Guided runs
+// without an explicit EscalationWidth get a placeholder escalation width
+// here; runPasses replaces it with the auto-tuned width once the score
+// distribution of the actual target faults is known.
 func (o Options) passes() []passSpec {
-	if o.EscalationWidth > 0 {
+	if o.EscalationWidth > 0 || o.GuidedEscalation {
+		w := o.EscalationWidth
+		if w == 0 {
+			w = o.WordWidth
+		}
 		return []passSpec{
 			{width: 1, budget: o.FirstPassBacktracks, final: false},
-			{width: o.EscalationWidth, budget: o.MaxBacktracks, final: true},
+			{width: w, budget: o.MaxBacktracks, final: true},
 		}
 	}
 	return []passSpec{{width: o.WordWidth, budget: o.MaxBacktracks, final: true}}
@@ -319,10 +335,16 @@ type Stats struct {
 
 	// FirstPassSettled and Escalated summarize adaptive grouping
 	// (Options.EscalationWidth): faults settled by the cheap fault-serial
-	// first pass, and survivors regrouped into wide word-parallel groups.
-	// Both stay zero while escalation is off.
+	// first pass, and faults entering the wide escalation pass (first-pass
+	// survivors plus, under guided escalation, the predicted-hard faults
+	// that skipped the first pass).  Both stay zero while escalation is off.
 	FirstPassSettled int
 	Escalated        int
+
+	// PredictedHard counts the faults guided escalation routed straight to
+	// the wide pass (testability score above the hardness threshold).  It
+	// stays zero while Options.GuidedEscalation is off.
+	PredictedHard int
 
 	// Sched summarizes the dispatch layer of the run(s): passes, work
 	// units, steals and the idle-unit skew counter (see sched.Stats).
@@ -362,12 +384,22 @@ func (s *Stats) Add(o Stats) {
 
 	s.FirstPassSettled += o.FirstPassSettled
 	s.Escalated += o.Escalated
+	s.PredictedHard += o.PredictedHard
 	s.Sched.Add(o.Sched)
 
 	s.Compaction.Add(o.Compaction)
 
 	s.SensitizeTime += o.SensitizeTime
 	s.GenerateTime += o.GenerateTime
+}
+
+// SkipRate returns the fraction of the run's target faults that guided
+// escalation routed straight to the wide pass; 0 while guidance is off.
+func (s Stats) SkipRate() float64 {
+	if s.Faults == 0 {
+		return 0
+	}
+	return float64(s.PredictedHard) / float64(s.Faults)
 }
 
 // Efficiency returns the paper's efficiency metric

@@ -14,6 +14,7 @@ import (
 	"repro/internal/pattern"
 	"repro/internal/sched"
 	"repro/internal/sensitize"
+	"repro/internal/testability"
 )
 
 // Generator is the bit-parallel path delay fault test pattern generator.
@@ -25,8 +26,11 @@ type Generator struct {
 
 	st      *implic.State
 	pruneSt *implic.State
-	cc      *backtrace.Controllability
+	tm      *testability.Measures
 	sim     *faultsim.Simulator
+
+	// objBuf is the scratch buffer of orderObjectives, reused across calls.
+	objBuf []circuit.NetID
 
 	testSet *pattern.Set
 	stats   Stats
@@ -103,7 +107,7 @@ func New(c *circuit.Circuit, opts Options) *Generator {
 		opts:              opts,
 		st:                implic.NewState(c),
 		pruneSt:           implic.NewState(c),
-		cc:                backtrace.NewControllability(c),
+		tm:                testability.For(c),
 		sim:               faultsim.New(c),
 		testSet:           pattern.NewSet(c),
 		redundantPrefixes: make(map[string]bool),
@@ -180,7 +184,7 @@ func (g *Generator) Run(ctx context.Context, faults []paths.Fault) []FaultResult
 	g.stats.Faults += len(faults)
 	g.runBase = g.testSet.Len()
 
-	runPasses(g.opts, recs, &g.stats, 1, func(sc *sched.Scheduler, ps passSpec) {
+	g.runPasses(recs, 1, func(sc *sched.Scheduler, ps passSpec) {
 		g.consume(ctx, sc, 0, recs, ps)
 	})
 	g.finish(ctx, recs)
@@ -487,16 +491,53 @@ func (g *Generator) runGroup(ctx context.Context, batch []*rec) []*rec {
 	return needPhase2
 }
 
+// objectiveCost is the testability cost of justifying the unjustified
+// requirement on net at the given bit level: the controllability of the
+// required final value (a pure stability requirement defaults to 1, the
+// value Backtrace refines towards).
+func (g *Generator) objectiveCost(net circuit.NetID, level int) int {
+	want := g.st.Requirement(net).Get(level).Final()
+	if !want.IsAssigned() {
+		want = logic.One3
+	}
+	return g.tm.Cost(net, want)
+}
+
+// orderObjectives returns the unjustified nets of the bit level ordered
+// cheapest requirement first (by the controllability of the required value)
+// instead of the plain topological order of Unjustified: justifying the easy
+// requirements first lets their implications constrain the state before the
+// expensive ones are attacked, which measurably lowers the abort count on
+// the ISCAS circuits (hardest-first raised it).  Ties keep the topological
+// order, making the selection deterministic and identical for both
+// implication engines.  The returned slice is a generator-owned scratch
+// buffer, valid until the next call.
+func (g *Generator) orderObjectives(level int) []circuit.NetID {
+	nets := g.st.Unjustified(level)
+	g.objBuf = append(g.objBuf[:0], nets...)
+	buf := g.objBuf
+	// Insertion sort by ascending cost: the buffer is small (the open
+	// requirements of one level) and already deterministically ordered, and
+	// sorting in place keeps the hot path allocation-free.
+	for i := 1; i < len(buf); i++ {
+		net, cost := buf[i], g.objectiveCost(buf[i], level)
+		j := i
+		for j > 0 && g.objectiveCost(buf[j-1], level) > cost {
+			buf[j] = buf[j-1]
+			j--
+		}
+		buf[j] = net
+	}
+	return buf
+}
+
 // findObjective returns a primary input assignment helping to justify some
-// requirement that is still unjustified at the given bit level.
-//
-// Unjustified returns a scratch slice owned by the implication state; it is
-// only iterated here (Backtrace does not call back into Unjustified), so the
-// aliasing is safe, but the slice must not be retained past this loop.
+// requirement that is still unjustified at the given bit level, preferring
+// the cheapest requirement (see orderObjectives).
 func (g *Generator) findObjective(level int) (backtrace.Objective, bool) {
-	for _, net := range g.st.Unjustified(level) {
+	for _, net := range g.orderObjectives(level) {
 		want := g.st.Requirement(net).Get(level)
-		if obj, ok := backtrace.Backtrace(g.st, g.cc, net, want, level); ok {
+		if obj, ok := backtrace.Backtrace(g.st, g.tm, net, want, level); ok {
 			return obj, true
 		}
 	}
@@ -504,20 +545,18 @@ func (g *Generator) findObjective(level int) (backtrace.Objective, bool) {
 }
 
 // findObjectives collects up to max distinct primary input objectives from
-// the unjustified requirements of the given bit level; APTPG enumerates all
-// their value combinations at once.
-//
-// As in findObjective, the slice returned by Unjustified is the implication
-// state's scratch buffer and is not retained past the loop.
+// the unjustified requirements of the given bit level, in the same
+// cheapest-first order as findObjective; APTPG enumerates all their value
+// combinations at once.
 func (g *Generator) findObjectives(level, max int) []backtrace.Objective {
 	var objs []backtrace.Objective
 	seen := make(map[circuit.NetID]bool)
-	for _, net := range g.st.Unjustified(level) {
+	for _, net := range g.orderObjectives(level) {
 		if len(objs) >= max {
 			break
 		}
 		want := g.st.Requirement(net).Get(level)
-		obj, ok := backtrace.Backtrace(g.st, g.cc, net, want, level)
+		obj, ok := backtrace.Backtrace(g.st, g.tm, net, want, level)
 		if !ok || seen[obj.Input] {
 			continue
 		}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"sort"
 	"sync"
 	"time"
 
@@ -10,6 +11,7 @@ import (
 	"repro/internal/pattern"
 	"repro/internal/sched"
 	"repro/internal/sensitize"
+	"repro/internal/testability"
 )
 
 // RunSharded generates tests for the faults like Generator.Run, but spreads
@@ -95,7 +97,7 @@ func RunSharded(ctx context.Context, master *Generator, faults []paths.Fault, wo
 	results, recs := newRecs(faults)
 	master.stats.Faults += len(faults)
 
-	runPasses(master.opts, recs, &master.stats, workers, func(sc *sched.Scheduler, ps passSpec) {
+	master.runPasses(recs, workers, func(sc *sched.Scheduler, ps passSpec) {
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
@@ -130,27 +132,116 @@ func RunSharded(ctx context.Context, master *Generator, faults []paths.Fault, wo
 // still-pending faults into work units, loads them into a scheduler for the
 // given worker count and lets drain consume it (drain must not return before
 // the workers have quiesced).  Scheduler and escalation counters accumulate
-// into stats.
-func runPasses(opts Options, recs []*rec, stats *Stats, workers int, drain func(*sched.Scheduler, passSpec)) {
-	for pi, ps := range opts.passes() {
-		idx := make([]int, 0, len(recs))
-		for i, r := range recs {
-			if r.res.Status == Pending {
-				idx = append(idx, i)
+// into the master's stats.
+//
+// With Options.GuidedEscalation the passes are testability-guided: every
+// fault is scored up front (testability.FaultScore on the circuit's cached
+// measures), predicted-hard faults skip the cheap first pass and enter the
+// wide pass directly, each pass processes its faults hardest first in
+// cost-weighted units, and — when no explicit EscalationWidth is set — the
+// escalation width is derived from the size of the predicted-hard tail.
+// Guidance only routes and orders work: which searches run, under which
+// budgets and at which widths is decided by the same pass specs, so its
+// effect is wall-clock, not coverage (see docs/ARCHITECTURE.md).
+func (g *Generator) runPasses(recs []*rec, workers int, drain func(*sched.Scheduler, passSpec)) {
+	opts := g.opts
+	passes := opts.passes()
+
+	// Guided routing: score the targets once and flag the hard tail.
+	var hard []bool
+	var scores []int
+	if opts.GuidedEscalation && len(passes) > 1 {
+		hard, scores = g.predictHard(recs)
+		nHard := 0
+		for _, h := range hard {
+			if h {
+				nHard++
 			}
 		}
+		g.stats.PredictedHard += nHard
+		if opts.EscalationWidth == 0 {
+			passes[len(passes)-1].width = testability.AutoWidth(nHard)
+		}
+	}
+
+	var firstPass []int
+	for pi := range passes {
+		ps := passes[pi]
+		idx := make([]int, 0, len(recs))
+		for i, r := range recs {
+			if r.res.Status != Pending {
+				continue
+			}
+			if !ps.final && hard != nil && hard[i] {
+				continue // predicted hard: no cheap pass, escalate directly
+			}
+			idx = append(idx, i)
+		}
+		if pi == 0 && len(passes) > 1 {
+			firstPass = idx
+		}
 		if pi > 0 {
-			stats.FirstPassSettled += len(recs) - len(idx)
-			stats.Escalated += len(idx)
+			settled := 0
+			for _, i := range firstPass {
+				if recs[i].res.Status != Pending {
+					settled++
+				}
+			}
+			g.stats.FirstPassSettled += settled
+			g.stats.Escalated += len(idx)
 		}
 		if len(idx) == 0 {
 			continue
 		}
+		if scores != nil {
+			sortHardestFirst(idx, scores)
+		}
 		sc := sched.New(opts.Schedule, workers)
-		sc.Load(sched.Group(idx, ps.width))
+		units := sched.Group(idx, ps.width)
+		if scores != nil {
+			for ui := range units {
+				cost := 0
+				for _, fi := range units[ui].Faults {
+					// The +1 keeps zero-score faults from producing weightless
+					// units the balancing split cannot account.
+					cost += 1 + scores[fi]
+				}
+				units[ui].Cost = cost
+			}
+		}
+		sc.Load(units)
 		drain(sc, ps)
-		stats.Sched.Add(sc.Stats())
+		g.stats.Sched.Add(sc.Stats())
 	}
+}
+
+// predictHard scores every target fault with the circuit's cached
+// testability measures and flags the ones above the hardness threshold
+// (twice the median score of this fault population).
+func (g *Generator) predictHard(recs []*rec) (hard []bool, scores []int) {
+	scores = make([]int, len(recs))
+	for i, r := range recs {
+		scores[i] = g.tm.FaultScore(g.c, r.fault, g.opts.Mode)
+	}
+	thr := testability.HardThreshold(scores)
+	hard = make([]bool, len(recs))
+	for i, s := range scores {
+		hard[i] = s > thr
+	}
+	return hard, scores
+}
+
+// sortHardestFirst orders the fault indices by descending score, ties by
+// ascending input index: hard faults start (and finish) first, so the
+// stealing scheduler rebalances a genuine tail instead of discovering the
+// hard cluster last, and the order is a pure function of the scores.
+func sortHardestFirst(idx []int, scores []int) {
+	sort.Slice(idx, func(a, b int) bool {
+		if scores[idx[a]] != scores[idx[b]] {
+			return scores[idx[a]] > scores[idx[b]]
+		}
+		return idx[a] < idx[b]
+	})
 }
 
 // mergeResults reassembles the workers' output on the master, in canonical

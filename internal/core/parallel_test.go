@@ -177,23 +177,47 @@ func sortedPatterns(set *pattern.Set) []string {
 
 // TestSchedulerDeterminism is the determinism matrix of the dispatch layer:
 // with the interleaved simulation off, every combination of workers in
-// {1,2,4,8}, schedule in {static, steal} and escalation on/off must produce
-// identical per-fault classifications and an identical pattern multiset —
-// the outcome may not depend on how work was spread over cores.
+// {1,2,4,8}, schedule in {static, steal}, escalation on/off and guidance
+// on/off must produce identical per-fault classifications and an identical
+// pattern multiset — the outcome may not depend on how work was spread over
+// cores.  On top of the per-configuration matrix, prediction must not touch
+// outcomes: the guided adaptive run must reproduce the unguided adaptive
+// run's per-fault statuses exactly (hence coverage and aborts bit-identical)
+// and generate the same number of patterns.  The patterns themselves may
+// differ: a predicted-hard fault that would have settled in the width-1
+// first pass takes its (equally valid) pattern from the width-W APTPG run
+// instead, and APTPG enumerates alternatives across bit levels, so its
+// pattern choice is width-dependent by design.  Pattern *multiset* equality
+// is therefore guaranteed per configuration (the matrix above), not across
+// the prediction dimension.
 func TestSchedulerDeterminism(t *testing.T) {
 	c, err := bench.Get("adder8")
 	if err != nil {
 		t.Fatal(err)
 	}
 	faults := paths.EnumerateFaults(c, 0)
-	for _, escalate := range []int{0, 8} {
+	type config struct {
+		escalate int
+		guided   bool
+	}
+	statuses := make(map[config][]Status)
+	patterns := make(map[config][]string)
+	predicted := make(map[config]int)
+	for _, cfg := range []config{{0, false}, {8, false}, {0, true}, {8, true}} {
 		base := DefaultOptions(sensitize.Robust)
 		base.FaultSimInterval = 0
-		base.EscalationWidth = escalate
+		base.EscalationWidth = cfg.escalate
+		base.GuidedEscalation = cfg.guided
 
 		ref := New(c, base)
 		want := ref.Run(context.Background(), faults)
 		wantPatterns := sortedPatterns(ref.TestSet())
+		statuses[cfg] = make([]Status, len(want))
+		for i := range want {
+			statuses[cfg][i] = want[i].Status
+		}
+		patterns[cfg] = wantPatterns
+		predicted[cfg] = ref.Stats().PredictedHard
 
 		for _, workers := range []int{1, 2, 4, 8} {
 			for _, schedule := range []sched.Policy{sched.Static, sched.Steal} {
@@ -201,7 +225,8 @@ func TestSchedulerDeterminism(t *testing.T) {
 				opts.Schedule = schedule
 				g := New(c, opts)
 				got := RunSharded(context.Background(), g, faults, workers)
-				tag := fmt.Sprintf("workers=%d schedule=%v escalate=%d", workers, schedule, escalate)
+				tag := fmt.Sprintf("workers=%d schedule=%v escalate=%d guided=%v",
+					workers, schedule, cfg.escalate, cfg.guided)
 				for i := range got {
 					if got[i].Status != want[i].Status {
 						t.Errorf("%s: fault %s is %v, reference says %v",
@@ -221,6 +246,27 @@ func TestSchedulerDeterminism(t *testing.T) {
 			}
 		}
 	}
+
+	// The guided dimension must actually be exercised, not vacuously equal.
+	guidedAdaptive := config{8, true}
+	if predicted[guidedAdaptive] == 0 {
+		t.Fatal("guided adaptive run predicted no hard faults; the matrix does not exercise guidance")
+	}
+	t.Logf("guided adaptive: %d/%d faults predicted hard", predicted[guidedAdaptive], len(faults))
+
+	// Prediction invariance: guided adaptive classifies every fault exactly
+	// as unguided adaptive and emits one pattern per tested fault.
+	unguided := config{8, false}
+	for i, s := range statuses[guidedAdaptive] {
+		if s != statuses[unguided][i] {
+			t.Errorf("prediction changed fault %s: guided %v, unguided %v",
+				faults[i].Key(), s, statuses[unguided][i])
+		}
+	}
+	if len(patterns[guidedAdaptive]) != len(patterns[unguided]) {
+		t.Fatalf("prediction changed the pattern count: guided %d, unguided %d",
+			len(patterns[guidedAdaptive]), len(patterns[unguided]))
+	}
 }
 
 // TestSchedulerCompactedCoverage completes the determinism matrix on the
@@ -234,17 +280,23 @@ func TestSchedulerCompactedCoverage(t *testing.T) {
 	}
 	faults := paths.SampleFaults(c, 96, 11)
 
-	for _, escalate := range []int{0, 16} {
-		// The coverage baseline is per escalation setting: adaptive grouping
-		// legitimately generates different patterns than the fixed-width run,
-		// but within one setting the dispatch dimensions must not matter.
+	for _, cfg := range []struct {
+		escalate int
+		guided   bool
+	}{{0, false}, {16, false}, {16, true}} {
+		// The coverage baseline is per grouping setting: adaptive grouping
+		// legitimately generates different patterns than the fixed-width run
+		// (and guided routing different ones than unguided, since APTPG
+		// pattern choice is width-dependent), but within one setting the
+		// dispatch dimensions must not matter.
 		var want []bool
 		for _, workers := range []int{1, 4} {
 			for _, schedule := range []sched.Policy{sched.Static, sched.Steal} {
 				opts := DefaultOptions(sensitize.Robust)
 				opts.Compaction = compact.Full
 				opts.Schedule = schedule
-				opts.EscalationWidth = escalate
+				opts.EscalationWidth = cfg.escalate
+				opts.GuidedEscalation = cfg.guided
 				g := New(c, opts)
 				RunSharded(context.Background(), g, faults, workers)
 				detected := detectedVector(t, c, g.TestSet().Pairs, faults)
@@ -254,8 +306,8 @@ func TestSchedulerCompactedCoverage(t *testing.T) {
 				}
 				for f := range want {
 					if want[f] != detected[f] {
-						t.Fatalf("workers=%d schedule=%v escalate=%d: post-compaction coverage differs at fault %d",
-							workers, schedule, escalate, f)
+						t.Fatalf("workers=%d schedule=%v escalate=%d guided=%v: post-compaction coverage differs at fault %d",
+							workers, schedule, cfg.escalate, cfg.guided, f)
 					}
 				}
 			}
@@ -376,6 +428,50 @@ func TestEscalationAdaptiveGrouping(t *testing.T) {
 		}
 		t.Logf("%s: first-pass settled %d/%d, escalated %d, sched %v",
 			name, sa.FirstPassSettled, sa.Faults, sa.Escalated, sa.Sched)
+
+		// The guided variant routes predicted-hard faults straight to the
+		// wide pass.  The accounting invariant is unchanged (skipped faults
+		// are escalated without a first-pass attempt), predictions are
+		// reported, and the acceptance bar of every routing heuristic holds:
+		// coverage never drops and aborts never grow relative to unguided
+		// adaptive grouping.
+		guided := adaptive
+		guided.GuidedEscalation = true
+		gg := New(c, guided)
+		gg.Run(context.Background(), faults)
+		sg := gg.Stats()
+		if sg.FirstPassSettled+sg.Escalated != sg.Faults {
+			t.Errorf("%s guided: first-pass %d + escalated %d != faults %d",
+				name, sg.FirstPassSettled, sg.Escalated, sg.Faults)
+		}
+		// c432's reconvergent control logic has a genuine hard tail; cmp8's
+		// score population is uniform (every path crosses the same XNOR/AND
+		// reduction), and a uniform population must predict *nothing* hard —
+		// the threshold policy's graceful degradation to unguided behavior.
+		if name == "c432" && sg.PredictedHard == 0 {
+			t.Errorf("%s guided: no fault predicted hard; the scenario does not exercise routing", name)
+		}
+		if name == "cmp8" && sg.PredictedHard != 0 {
+			t.Errorf("%s guided: %d faults predicted hard on a uniform score population, want 0",
+				name, sg.PredictedHard)
+		}
+		if sg.Escalated < sg.PredictedHard {
+			t.Errorf("%s guided: escalated %d below the %d predicted-hard faults routed to the wide pass",
+				name, sg.Escalated, sg.PredictedHard)
+		}
+		if want := float64(sg.PredictedHard) / float64(sg.Faults); sg.SkipRate() != want {
+			t.Errorf("%s guided: SkipRate() = %v, want %v", name, sg.SkipRate(), want)
+		}
+		coverageG := sg.Tested + sg.DetectedBySim
+		if coverageG < coverageA {
+			t.Errorf("%s: guided routing lost coverage: %d < %d", name, coverageG, coverageA)
+		}
+		if sg.Aborted > sa.Aborted {
+			t.Errorf("%s: guided routing aborted more faults (%d) than unguided adaptive (%d)",
+				name, sg.Aborted, sa.Aborted)
+		}
+		t.Logf("%s guided: predicted hard %d/%d (skip rate %.1f%%), first-pass settled %d, escalated %d",
+			name, sg.PredictedHard, sg.Faults, 100*sg.SkipRate(), sg.FirstPassSettled, sg.Escalated)
 	}
 }
 

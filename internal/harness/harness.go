@@ -59,6 +59,11 @@ type Config struct {
 	// with the given escalation width: a cheap fault-serial first pass,
 	// then wide word-parallel groups for the survivors only.
 	Escalate int
+	// Guided enables testability-guided search (core.Options.
+	// GuidedEscalation): predicted-hard faults skip the cheap first pass,
+	// work is ordered hardest first, and — when Escalate is 0 — the
+	// escalation width is derived from the score distribution.
+	Guided bool
 	// Compact selects the static test-set compaction applied after every
 	// generator run (compact.None disables it, the default).
 	Compact compact.Level
@@ -140,6 +145,7 @@ func (cfg Config) generatorOptions() core.Options {
 	o.CompactionXFill = cfg.XFill
 	o.Schedule = cfg.Schedule
 	o.EscalationWidth = cfg.Escalate
+	o.GuidedEscalation = cfg.Guided
 	return o
 }
 
@@ -150,6 +156,7 @@ func (cfg Config) singleBitOptions() core.Options {
 	o.WordWidth = 1
 	o.FaultSimInterval = 1
 	o.EscalationWidth = 0 // escalating into wide groups would defeat the baseline
+	o.GuidedEscalation = false
 	return o
 }
 
@@ -164,6 +171,7 @@ func (cfg Config) structuralBaselineOptions() core.Options {
 	o.FaultSimInterval = 0
 	o.SubpathPruning = false
 	o.EscalationWidth = 0
+	o.GuidedEscalation = false
 	return o
 }
 

@@ -65,6 +65,13 @@ func ParsePolicy(s string) (Policy, error) {
 // (width, budget, finality) alongside the scheduler it drains.
 type Unit struct {
 	Faults []int
+
+	// Cost is the predicted processing cost of the unit, in arbitrary
+	// consumer-defined weight (the guided engine sums testability scores).
+	// Load balances the contiguous split by Cost when any unit carries one;
+	// zero-cost units fall back to their fault count, so unweighted loads
+	// behave exactly as before.
+	Cost int
 }
 
 // Stats aggregates the dispatch behavior of one or more scheduler loads.
@@ -126,9 +133,13 @@ func New(policy Policy, workers int) *Scheduler {
 func (s *Scheduler) Workers() int { return len(s.queues) }
 
 // Load distributes the units across the worker queues: contiguous runs of
-// units, balanced by the number of faults they cover (so the initial split
-// matches the old near-even contiguous fault sharding).  It resets any
-// previous load; call it once per pass, with the workers quiesced.
+// units, balanced by unit weight — the predicted Cost when the consumer set
+// one, the fault count otherwise (so an unweighted load reproduces the old
+// near-even contiguous fault sharding).  Cost-weighted splits spread a
+// hardest-first ordered load so every worker's shard predicts roughly equal
+// work, instead of equal fault counts with all the hard faults on worker 0.
+// It resets any previous load; call it once per pass, with the workers
+// quiesced.
 func (s *Scheduler) Load(units []Unit) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -137,7 +148,7 @@ func (s *Scheduler) Load(units []Unit) {
 
 	remWeight := 0
 	for _, u := range units {
-		remWeight += len(u.Faults)
+		remWeight += unitWeight(u)
 	}
 	i := 0
 	for w := range s.queues {
@@ -145,7 +156,7 @@ func (s *Scheduler) Load(units []Unit) {
 		remWorkers := len(s.queues) - w
 		take, weight := 0, 0
 		for i+take < len(units) && weight*remWorkers < remWeight {
-			weight += len(units[i+take].Faults)
+			weight += unitWeight(units[i+take])
 			take++
 		}
 		s.queues[w] = units[i : i+take]
@@ -158,6 +169,15 @@ func (s *Scheduler) Load(units []Unit) {
 		last := len(s.queues) - 1
 		s.queues[last] = append(append([]Unit{}, s.queues[last]...), units[i:]...)
 	}
+}
+
+// unitWeight is the balancing weight of a unit: its predicted cost, or its
+// fault count while the consumer did not predict one.
+func unitWeight(u Unit) int {
+	if u.Cost > 0 {
+		return u.Cost
+	}
+	return len(u.Faults)
 }
 
 // Next returns the next unit for the worker: the head of its own queue, or —

@@ -180,6 +180,132 @@ func TestConcurrentDrainIsComplete(t *testing.T) {
 	}
 }
 
+// TestLoadBalancesCost checks the cost-weighted split: when units carry a
+// predicted Cost, Load balances the contiguous runs by summed cost instead
+// of fault count, so one expensive unit is a whole shard of its own.
+func TestLoadBalancesCost(t *testing.T) {
+	units := Group(seq(4), 1)
+	units[0].Cost = 3
+	units[1].Cost = 1
+	units[2].Cost = 1
+	units[3].Cost = 1
+	s := New(Static, 2)
+	s.Load(units)
+	if got := len(s.queues[0]); got != 1 {
+		t.Errorf("worker 0 got %d units, want 1 (the cost-3 unit alone)", got)
+	}
+	if got := len(s.queues[1]); got != 3 {
+		t.Errorf("worker 1 got %d units, want 3", got)
+	}
+}
+
+// simulateDrain drains a loaded scheduler with a deterministic discrete-event
+// simulation: every worker owns a clock, the free worker with the lowest
+// clock (lowest index on ties) takes its next unit and advances by the
+// unit's true processing cost.  It returns the number of faults processed
+// and the makespan (the last worker's finish time).
+func simulateDrain(s *Scheduler, workers int, trueCost func(Unit) int) (drained, makespan int) {
+	clocks := make([]int, workers)
+	active := make([]bool, workers)
+	for w := range active {
+		active[w] = true
+	}
+	for {
+		w := -1
+		for i := 0; i < workers; i++ {
+			if active[i] && (w < 0 || clocks[i] < clocks[w]) {
+				w = i
+			}
+		}
+		if w < 0 {
+			break
+		}
+		u, ok := s.Next(w)
+		if !ok {
+			active[w] = false
+			continue
+		}
+		drained += len(u.Faults)
+		clocks[w] += trueCost(u)
+	}
+	for _, c := range clocks {
+		if c > makespan {
+			makespan = c
+		}
+	}
+	return drained, makespan
+}
+
+// TestCostWeightedHardestFirstReducesIdleOnSkew is the sched-level mirror of
+// the engine's TestWorkStealingBeatsStaticOnSkew, driven by counters instead
+// of wall clock: a skewed workload whose hard faults cluster at the tail of
+// the insertion order.  The unguided load (insertion order, count-balanced)
+// hands one static worker the whole hard cluster; the guided load — the same
+// units ordered hardest first and balanced by predicted Cost, exactly what
+// the guided engine feeds the scheduler — must strictly reduce both the
+// queued units left behind idle workers and the simulated makespan, without
+// any stealing.
+func TestCostWeightedHardestFirstReducesIdleOnSkew(t *testing.T) {
+	const (
+		workers  = 4
+		nHard    = 8
+		nEasy    = 24
+		hardCost = 16
+		easyCost = 1
+	)
+	// Fault indices >= nEasy are the hard cluster, sitting at the tail of
+	// the insertion order.
+	trueCost := func(u Unit) int {
+		c := 0
+		for _, f := range u.Faults {
+			if f >= nEasy {
+				c += hardCost
+			} else {
+				c += easyCost
+			}
+		}
+		return c
+	}
+	run := func(units []Unit) (Stats, int) {
+		s := New(Static, workers)
+		s.Load(units)
+		drained, makespan := simulateDrain(s, workers, trueCost)
+		if drained != nHard+nEasy {
+			t.Fatalf("drained %d faults, want %d", drained, nHard+nEasy)
+		}
+		return s.Stats(), makespan
+	}
+
+	baseline, baseSpan := run(Group(seq(nHard+nEasy), 1))
+
+	// Hardest first with the true cost as the prediction.
+	ordered := make([]int, 0, nHard+nEasy)
+	for f := nEasy; f < nEasy+nHard; f++ {
+		ordered = append(ordered, f)
+	}
+	for f := 0; f < nEasy; f++ {
+		ordered = append(ordered, f)
+	}
+	units := Group(ordered, 1)
+	for i := range units {
+		units[i].Cost = trueCost(units[i])
+	}
+	guided, guidedSpan := run(units)
+
+	t.Logf("baseline: %v makespan=%d; guided: %v makespan=%d", baseline, baseSpan, guided, guidedSpan)
+	if baseline.IdleUnits == 0 {
+		t.Fatal("insertion-order load shows no idle skew; the scenario is not exercising the imbalance")
+	}
+	if guided.IdleUnits >= baseline.IdleUnits {
+		t.Errorf("cost-weighted hardest-first did not reduce idle units: guided=%d baseline=%d",
+			guided.IdleUnits, baseline.IdleUnits)
+	}
+	if guidedSpan >= baseSpan {
+		t.Errorf("cost-weighted hardest-first did not reduce the makespan: guided=%d baseline=%d",
+			guidedSpan, baseSpan)
+	}
+}
+
 func TestParsePolicy(t *testing.T) {
 	for _, tc := range []struct {
 		in   string
