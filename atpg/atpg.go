@@ -108,6 +108,9 @@ type Engine struct {
 	gen      *core.Generator
 	workers  int
 	progress func(Result)
+	// remote, when non-empty, routes Run and Stream to an ATPG service
+	// coordinator at this base URL (see WithRemote).
+	remote string
 }
 
 // New builds an engine for the circuit.  Without options it generates
@@ -134,11 +137,15 @@ func New(c *Circuit, opts ...Option) (*Engine, error) {
 	if workers < 1 {
 		workers = 1
 	}
+	if cfg.remote != "" && cfg.xfillSet {
+		return nil, fmt.Errorf("%w: WithXFill installs an opaque filler the coordinator cannot deserialize", ErrRemoteOption)
+	}
 	return &Engine{
 		circuit:  c,
 		gen:      core.New(c.c, cfg.opts),
 		workers:  workers,
 		progress: cfg.progress,
+		remote:   cfg.remote,
 	}, nil
 }
 
@@ -167,6 +174,9 @@ func (e *Engine) Run(ctx context.Context, faults []Fault) ([]Result, error) {
 	}
 	if len(faults) == 0 {
 		return nil, ErrNoFaults
+	}
+	if e.remote != "" {
+		return e.runRemote(ctx, faults)
 	}
 	e.gen.OnSettle = e.progress
 	defer func() { e.gen.OnSettle = nil }()
@@ -203,6 +213,10 @@ func (e *Engine) Stream(ctx context.Context, faults []Fault) iter.Seq[Result] {
 		}
 		if ctx == nil {
 			ctx = context.Background()
+		}
+		if e.remote != "" {
+			e.streamRemote(ctx, faults)(yield)
+			return
 		}
 		runCtx, cancel := context.WithCancel(ctx)
 		defer cancel()

@@ -75,6 +75,12 @@ type engineConfig struct {
 	// sequential engine.
 	workers  int
 	progress func(Result)
+	// remote, when set, makes the engine submit runs to an ATPG service
+	// coordinator instead of generating in-process (see WithRemote).
+	remote string
+	// xfillSet notes an explicit WithXFill: a custom filler is an opaque
+	// function and cannot be serialized to a remote coordinator.
+	xfillSet bool
 }
 
 // WithMode selects robust or nonrobust test generation (default: robust).
@@ -302,6 +308,7 @@ func WithXFill(f XFill) Option {
 			return fmt.Errorf("atpg: nil X-fill strategy")
 		}
 		c.opts.CompactionXFill = f
+		c.xfillSet = true
 		return nil
 	}
 }

@@ -1,0 +1,199 @@
+package atpg
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/pattern"
+	"repro/internal/service"
+)
+
+// ErrRemoteOption is returned by New when an option cannot be carried over
+// the wire to a remote coordinator (currently only WithXFill: a custom
+// filler is an opaque function).
+var ErrRemoteOption = errors.New("atpg: option not supported with WithRemote")
+
+// WithRemote makes the engine run on an ATPG service coordinator instead of
+// in-process: Run submits the circuit (content-addressed, so repeat
+// submissions of the same design skip the upload and the parse), the fault
+// list and the engine's options as a job, waits for the coordinator's
+// distributed workers to finish it, and imports the results — statuses are
+// bit-identical to a local run with the same options whenever interleaved
+// simulation is off, and the merged test set lands in [Engine.Tests] exactly
+// as a local run's would.  Stream consumes the job's settle-event feed;
+// breaking out cancels the job on the coordinator.
+//
+// addr is the coordinator's base URL, e.g. "http://127.0.0.1:9090".
+// [WithWorkers] is ignored remotely (parallelism is the worker fleet's),
+// and [WithXFill] fails construction with ErrRemoteOption: a custom filler
+// cannot be serialized.  [WithProgress] works — it is fed from the event
+// stream.
+func WithRemote(addr string) Option {
+	return func(c *engineConfig) error {
+		if addr == "" {
+			return fmt.Errorf("atpg: empty remote coordinator address")
+		}
+		c.remote = addr
+		return nil
+	}
+}
+
+// remoteWireOptions renders the engine's resolved core options in wire form.
+// The facade exposes exactly the wire-expressible option surface, so the
+// mapping is lossless: the coordinator's and workers' core.New normalize
+// the decoded options to the same values used locally.
+func remoteWireOptions(opts core.Options) service.JobOptions {
+	sim := opts.FaultSimInterval
+	return service.JobOptions{
+		Mode:            opts.Mode.String(),
+		WordWidth:       opts.WordWidth,
+		Backtracks:      opts.MaxBacktracks,
+		NoFPTPG:         !opts.UseFPTPG,
+		NoAPTPG:         !opts.UseAPTPG,
+		SimInterval:     &sim,
+		Schedule:        opts.Schedule.String(),
+		Escalate:        opts.EscalationWidth,
+		FirstPassBudget: opts.FirstPassBacktracks,
+		Guided:          opts.GuidedEscalation,
+		Compact:         opts.Compaction.String(),
+	}
+}
+
+// submitRemote ships the engine's circuit, options and faults as a job.
+func (e *Engine) submitRemote(ctx context.Context, cl *service.Client, faults []Fault) (service.SubmitResponse, error) {
+	var buf bytes.Buffer
+	if err := e.circuit.WriteBench(&buf); err != nil {
+		return service.SubmitResponse{}, err
+	}
+	return cl.SubmitBench(ctx, e.circuit.Name(), buf.String(),
+		remoteWireOptions(e.gen.Options()), service.EncodeFaults(e.circuit.c, faults))
+}
+
+// importRemote folds a finished job's outcome into the engine: results are
+// rebased onto the local test set and the coordinator's statistics are
+// accumulated, so Tests, Stats and Coverage read exactly as after a local
+// run.
+func (e *Engine) importRemote(resp service.ResultsResponse) ([]Result, error) {
+	results := make([]core.FaultResult, len(resp.Results))
+	for i, w := range resp.Results {
+		r, err := service.DecodeResult(e.circuit.c, w)
+		if err != nil {
+			return nil, fmt.Errorf("atpg: remote result %d: %w", i, err)
+		}
+		results[i] = r
+	}
+	set, err := pattern.Read(strings.NewReader(resp.Tests))
+	if err != nil {
+		return nil, fmt.Errorf("atpg: remote test set: %w", err)
+	}
+	return e.gen.ImportRemoteRun(results, set, resp.Stats), nil
+}
+
+// runRemote is Run against a coordinator.  Cancelling ctx cancels the job
+// remotely and reports ErrCanceled, mirroring the local contract.
+func (e *Engine) runRemote(ctx context.Context, faults []Fault) ([]Result, error) {
+	cl := service.NewClient(e.remote)
+	sub, err := e.submitRemote(ctx, cl, faults)
+	if err != nil {
+		return nil, err
+	}
+	var jobErr error
+	if e.progress != nil {
+		jobErr = e.followEvents(ctx, cl, sub.JobID, func(Result) bool { return true })
+	} else {
+		_, jobErr = cl.Wait(ctx, sub.JobID, 0)
+	}
+	if jobErr != nil {
+		if ctx.Err() != nil {
+			// Propagate the cancellation to the coordinator; the job context
+			// is gone, so use a fresh short-lived one for the DELETE.
+			cctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			_, _ = cl.Cancel(cctx, sub.JobID)
+			cancel()
+			return nil, fmt.Errorf("%w: %w", ErrCanceled, context.Cause(ctx))
+		}
+		return nil, jobErr
+	}
+	resp, err := cl.Results(context.WithoutCancel(ctx), sub.JobID)
+	if err != nil {
+		return nil, err
+	}
+	results, err := e.importRemote(resp)
+	if err != nil {
+		return nil, err
+	}
+	if resp.State == "canceled" {
+		return results, fmt.Errorf("%w after %d of %d faults: job canceled on the coordinator",
+			ErrCanceled, settledCount(results), len(faults))
+	}
+	return results, nil
+}
+
+// followEvents long-polls the job's settle events, feeding each decoded
+// result to the engine's progress callback and to yield.  It returns when
+// the stream reports done, yield stops it, or ctx ends.
+func (e *Engine) followEvents(ctx context.Context, cl *service.Client, jobID string, yield func(Result) bool) error {
+	from := 0
+	for {
+		ev, err := cl.Events(ctx, jobID, from, 2000)
+		if err != nil {
+			return err
+		}
+		for _, w := range ev.Events {
+			r, err := service.DecodeResult(e.circuit.c, w)
+			if err != nil {
+				return fmt.Errorf("atpg: remote event: %w", err)
+			}
+			if e.progress != nil {
+				e.progress(r)
+			}
+			if !yield(r) {
+				return nil
+			}
+		}
+		from = ev.Next
+		if ev.Done {
+			return nil
+		}
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+	}
+}
+
+// streamRemote is Stream against a coordinator: results arrive from the
+// settle-event feed (PatternIndex is -1 — merge indices exist only after
+// the run; see Stream's documentation of the parallel caveat).  Breaking
+// out of the stream cancels the job.  After a complete stream the job's
+// merged outcome is imported, so Tests and Coverage are final.
+func (e *Engine) streamRemote(ctx context.Context, faults []Fault) func(yield func(Result) bool) {
+	return func(yield func(Result) bool) {
+		cl := service.NewClient(e.remote)
+		sub, err := e.submitRemote(ctx, cl, faults)
+		if err != nil {
+			return
+		}
+		stopped := false
+		err = e.followEvents(ctx, cl, sub.JobID, func(r Result) bool {
+			if !yield(r) {
+				stopped = true
+				return false
+			}
+			return true
+		})
+		if err != nil || stopped {
+			cctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			_, _ = cl.Cancel(cctx, sub.JobID)
+			cancel()
+			return
+		}
+		if resp, err := cl.Results(context.WithoutCancel(ctx), sub.JobID); err == nil {
+			_, _ = e.importRemote(resp)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+// Command atpgd is the ATPG service daemon.  It runs in one of two roles:
+//
+//	atpgd -role coordinator -listen :9090 -ledger /var/lib/atpgd
+//	atpgd -role worker -coordinator http://127.0.0.1:9090 -id w1
+//
+// A coordinator accepts jobs over HTTP/JSON (see cmd/atpgctl and the atpg
+// package's WithRemote option), compiles each submitted circuit once into a
+// content-addressed cache, cuts the fault universe into leased work units
+// and merges the workers' verified patterns deterministically.  With
+// -ledger it journals every job to a JSON-lines file and resumes
+// interrupted jobs on restart.
+//
+// A worker polls the coordinator for leases, runs each unit through the
+// bit-parallel generator and streams results back.  Killing a worker is
+// safe at any point: its outstanding leases expire and are requeued.
+//
+// Both roles shut down cleanly on SIGINT/SIGTERM.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	var (
+		role = flag.String("role", "coordinator", "process role: coordinator or worker")
+
+		// Coordinator flags.
+		listen        = flag.String("listen", "127.0.0.1:9090", "coordinator listen address")
+		ledger        = flag.String("ledger", "", "directory for per-job ledger files (empty = no persistence, jobs are not resumable)")
+		leaseTTL      = flag.Duration("lease", 30*time.Second, "work unit lease time-to-live; expired leases are requeued")
+		exchangeCap   = flag.Int("exchange-cap", 4096, "bound on the buffered cross-worker pattern exchange (oldest dropped first)")
+		maxActive     = flag.Int("max-active", 4, "jobs generating concurrently; further jobs queue")
+		cacheSize     = flag.Int("cache", 0, "compiled-circuit cache capacity (0 = default)")
+		unitsPerLease = flag.Int("units-per-lease", 4, "max work units handed out per lease request")
+
+		// Worker flags.
+		coordinator = flag.String("coordinator", "http://127.0.0.1:9090", "coordinator base URL (worker role)")
+		id          = flag.String("id", "", "worker ID; must be unique per fleet (default: host/pid derived)")
+		maxUnits    = flag.Int("max-units", 4, "units requested per lease (worker role)")
+		poll        = flag.Duration("poll", 100*time.Millisecond, "lease poll interval when idle (worker role)")
+	)
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var err error
+	switch *role {
+	case "coordinator":
+		err = runCoordinator(ctx, service.Config{
+			LeaseTTL:      *leaseTTL,
+			ExchangeCap:   *exchangeCap,
+			MaxActive:     *maxActive,
+			CacheSize:     *cacheSize,
+			UnitsPerLease: *unitsPerLease,
+			LedgerDir:     *ledger,
+		}, *listen)
+	case "worker":
+		wid := *id
+		if wid == "" {
+			host, _ := os.Hostname()
+			wid = fmt.Sprintf("%s-%d", host, os.Getpid())
+		}
+		fmt.Printf("atpgd: worker %s polling %s\n", wid, *coordinator)
+		err = service.NewWorker(service.WorkerConfig{
+			Coordinator: *coordinator,
+			ID:          wid,
+			MaxUnits:    *maxUnits,
+			Poll:        *poll,
+		}).Run(ctx)
+	default:
+		err = fmt.Errorf("unknown role %q (want coordinator or worker)", *role)
+	}
+	if err != nil && !errors.Is(err, context.Canceled) {
+		fmt.Fprintln(os.Stderr, "atpgd:", err)
+		os.Exit(1)
+	}
+}
+
+// runCoordinator serves the coordinator until ctx is canceled, then shuts
+// the HTTP server down and closes the coordinator — which, with a ledger,
+// leaves running jobs resumable by the next start.
+func runCoordinator(ctx context.Context, cfg service.Config, listen string) error {
+	co, err := service.NewCoordinator(cfg)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Addr: listen, Handler: co}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	if cfg.LedgerDir != "" {
+		fmt.Printf("atpgd: coordinator on %s, ledger in %s\n", listen, cfg.LedgerDir)
+	} else {
+		fmt.Printf("atpgd: coordinator on %s (no ledger)\n", listen)
+	}
+	select {
+	case err := <-errCh:
+		co.Close()
+		return err
+	case <-ctx.Done():
+	}
+	sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	_ = srv.Shutdown(sctx)
+	co.Close()
+	return nil
+}

@@ -37,7 +37,9 @@ func main() {
 		compactStr  = flag.String("compact", "none", "static test-set compaction: none, reverse (reverse-order sim dropping) or full (+ compatible-pair merging)")
 		xfill       = flag.String("xfill", "zero", "don't-care fill for merged pairs: zero, one or random")
 		xfillSeed   = flag.Int64("xfill-seed", 1995, "seed for -xfill random")
+		sim         = flag.Int("sim", -1, "interleaved fault-simulation interval in patterns (0 = off, -1 = track the word width)")
 		out         = flag.String("out", "", "write the generated test set to this file")
+		statuses    = flag.String("statuses", "", "write one 'fault<TAB>status' line per target fault (input order) to this file")
 		verbose     = flag.Bool("v", false, "print one line per fault")
 		cpuprofile  = flag.String("cpuprofile", "", "write a pprof CPU profile of the generation run to this file")
 		memprofile  = flag.String("memprofile", "", "write a pprof heap profile (taken after the run) to this file")
@@ -77,7 +79,7 @@ func main() {
 	}
 	fmt.Printf("target faults: %d (%s)\n", len(faults), m)
 
-	e, err := atpg.New(c,
+	engineOpts := []atpg.Option{
 		atpg.WithMode(m),
 		atpg.WithWordWidth(*width),
 		atpg.WithWorkers(*workers),
@@ -89,7 +91,11 @@ func main() {
 		atpg.WithAlternativeParallel(!*noAPTPG),
 		atpg.WithCompaction(level),
 		atpg.WithXFill(fill),
-	)
+	}
+	if *sim >= 0 {
+		engineOpts = append(engineOpts, atpg.WithInterleavedSim(*sim))
+	}
+	e, err := atpg.New(c, engineOpts...)
 	if errors.Is(err, atpg.ErrBadWidth) {
 		fail(fmt.Errorf("invalid width: %v (valid: -width 1..%d, -escalate 0..%d)",
 			err, atpg.MaxWordWidth, atpg.MaxWordWidth))
@@ -151,6 +157,19 @@ func main() {
 			fail(err)
 		}
 		fmt.Printf("wrote %d test pairs to %s\n", e.Tests().Len(), *out)
+	}
+	if *statuses != "" {
+		f, err := os.Create(*statuses)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		// Status only, not phase: which phase settles a fault can shift with
+		// worker interleaving, the classification cannot.
+		for _, r := range results {
+			fmt.Fprintf(f, "%s\t%s\n", c.Describe(r.Fault), r.Status)
+		}
+		fmt.Printf("wrote %d fault statuses to %s\n", len(results), *statuses)
 	}
 }
 

@@ -259,14 +259,16 @@ func (o Options) normalize() Options {
 	return o
 }
 
-// passSpec describes one generation pass of the scheduler-driven pipeline:
+// PassSpec describes one generation pass of the scheduler-driven pipeline:
 // the word-parallel group width, the APTPG backtrack budget, and whether
 // faults that exhaust the budget are final (Aborted) or left Pending for the
-// escalation pass.
-type passSpec struct {
-	width  int
-	budget int
-	final  bool
+// escalation pass.  It is exported so the distributed service
+// (internal/service) can ship the exact pass parameters to remote workers;
+// local runs never need to construct one.
+type PassSpec struct {
+	Width  int
+	Budget int
+	Final  bool
 }
 
 // passes returns the pass sequence the options select: one full-width pass,
@@ -275,18 +277,18 @@ type passSpec struct {
 // without an explicit EscalationWidth get a placeholder escalation width
 // here; runPasses replaces it with the auto-tuned width once the score
 // distribution of the actual target faults is known.
-func (o Options) passes() []passSpec {
+func (o Options) passes() []PassSpec {
 	if o.EscalationWidth > 0 || o.GuidedEscalation {
 		w := o.EscalationWidth
 		if w == 0 {
 			w = o.WordWidth
 		}
-		return []passSpec{
-			{width: 1, budget: o.FirstPassBacktracks, final: false},
-			{width: w, budget: o.MaxBacktracks, final: true},
+		return []PassSpec{
+			{Width: 1, Budget: o.FirstPassBacktracks, Final: false},
+			{Width: w, Budget: o.MaxBacktracks, Final: true},
 		}
 	}
-	return []passSpec{{width: o.WordWidth, budget: o.MaxBacktracks, final: true}}
+	return []PassSpec{{Width: o.WordWidth, Budget: o.MaxBacktracks, Final: true}}
 }
 
 func log2(n int) int {

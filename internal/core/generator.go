@@ -184,8 +184,11 @@ func (g *Generator) Run(ctx context.Context, faults []paths.Fault) []FaultResult
 	g.stats.Faults += len(faults)
 	g.runBase = g.testSet.Len()
 
-	g.runPasses(recs, 1, func(sc *sched.Scheduler, ps passSpec) {
+	g.runPasses(recs, func(units []sched.Unit, ps PassSpec) {
+		sc := sched.New(g.opts.Schedule, 1)
+		sc.Load(units)
 		g.consume(ctx, sc, 0, recs, ps)
+		g.stats.Sched.Add(sc.Stats())
 	})
 	g.finish(ctx, recs)
 	g.reconcileDrops(results)
@@ -209,7 +212,7 @@ func (g *Generator) Run(ctx context.Context, faults []paths.Fault) []FaultResult
 // that accumulated before it was claimed.
 //
 //atpgvet:ctxloop
-func (g *Generator) consume(ctx context.Context, sc *sched.Scheduler, w int, recs []*rec, ps passSpec) {
+func (g *Generator) consume(ctx context.Context, sc *sched.Scheduler, w int, recs []*rec, ps PassSpec) {
 	exclusive := sc.Workers() == 1
 	scope := recs
 	if !exclusive {
@@ -242,7 +245,7 @@ func (g *Generator) consume(ctx context.Context, sc *sched.Scheduler, w int, rec
 // alternative-parallel search for the faults FPTPG hands over.  Faults that
 // exhaust the pass budget are Aborted on a final pass and left Pending for
 // escalation otherwise.
-func (g *Generator) processUnit(ctx context.Context, unit []*rec, ps passSpec) {
+func (g *Generator) processUnit(ctx context.Context, unit []*rec, ps PassSpec) {
 	var group []*rec
 	for _, r := range unit {
 		if ctx.Err() != nil {
@@ -256,8 +259,8 @@ func (g *Generator) processUnit(ctx context.Context, unit []*rec, ps passSpec) {
 		}
 		group = append(group, r)
 	}
-	for start := 0; start < len(group); start += ps.width {
-		end := start + ps.width
+	for start := 0; start < len(group); start += ps.Width {
+		end := start + ps.Width
 		if end > len(group) {
 			end = len(group)
 		}
@@ -280,7 +283,7 @@ func (g *Generator) processUnit(ctx context.Context, unit []*rec, ps passSpec) {
 				}
 				g.runAPTPG(ctx, r, ps)
 			}
-		case ps.final:
+		case ps.Final:
 			for _, r := range hard {
 				if r.res.Status == Pending && ctx.Err() == nil {
 					g.markAborted(r, PhaseFPTPG)
@@ -587,15 +590,15 @@ type decision struct {
 // bit levels, up to log2(width) backtrace-selected inputs are enumerated in
 // parallel (one value combination per bit level) and any further decisions
 // are made conventionally with chronological backtracking on all levels at
-// once.  The pass spec bounds the search: ps.budget backtracks, after which
+// once.  The pass spec bounds the search: ps.Budget backtracks, after which
 // the fault is Aborted (final pass) or left Pending for escalation.
-func (g *Generator) runAPTPG(ctx context.Context, r *rec, ps passSpec) {
+func (g *Generator) runAPTPG(ctx context.Context, r *rec, ps PassSpec) {
 	g.stats.APTPGFaults++
 	if !g.sensitizeRec(r) {
 		g.markAborted(r, PhaseAPTPG)
 		return
 	}
-	width := ps.width
+	width := ps.Width
 	active := logic.LevelMask(width)
 	g.st.Reset(active)
 	for _, a := range r.cond.Assignments {
@@ -653,7 +656,7 @@ func (g *Generator) runAPTPG(ctx context.Context, r *rec, ps passSpec) {
 		deadMask = 0
 	}
 
-	maxSteps := 64 * (ps.budget + 4) * (len(g.c.Inputs()) + 4)
+	maxSteps := 64 * (ps.Budget + 4) * (len(g.c.Inputs()) + 4)
 	for step := 0; step < maxSteps; step++ {
 		// The step loop can run long on hard faults; poll the context every
 		// few steps so cancellation stays responsive without a per-step lock.
@@ -678,7 +681,7 @@ func (g *Generator) runAPTPG(ctx context.Context, r *rec, ps passSpec) {
 			backtracks++
 			r.res.Backtracks++
 			g.stats.Backtracks++
-			if backtracks > ps.budget {
+			if backtracks > ps.Budget {
 				g.abortOrEscalate(r, ps)
 				return
 			}
@@ -774,8 +777,8 @@ func (g *Generator) runAPTPG(ctx context.Context, r *rec, ps passSpec) {
 // abortOrEscalate gives up on a fault whose pass budget is exhausted: on a
 // final pass it is Aborted, on the cheap first pass of adaptive grouping it
 // stays Pending and the orchestrator escalates it into a wide group.
-func (g *Generator) abortOrEscalate(r *rec, ps passSpec) {
-	if ps.final {
+func (g *Generator) abortOrEscalate(r *rec, ps PassSpec) {
+	if ps.Final {
 		g.markAborted(r, PhaseAPTPG)
 	}
 }

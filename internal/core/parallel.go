@@ -97,7 +97,9 @@ func RunSharded(ctx context.Context, master *Generator, faults []paths.Fault, wo
 	results, recs := newRecs(faults)
 	master.stats.Faults += len(faults)
 
-	master.runPasses(recs, workers, func(sc *sched.Scheduler, ps passSpec) {
+	master.runPasses(recs, func(units []sched.Unit, ps PassSpec) {
+		sc := sched.New(master.opts.Schedule, workers)
+		sc.Load(units)
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
@@ -111,6 +113,7 @@ func RunSharded(ctx context.Context, master *Generator, faults []paths.Fault, wo
 			}(w)
 		}
 		wg.Wait()
+		master.stats.Sched.Add(sc.Stats())
 	})
 
 	master.finish(ctx, recs)
@@ -129,10 +132,11 @@ func RunSharded(ctx context.Context, master *Generator, faults []paths.Fault, wo
 // runPasses executes the pass sequence the options select — one fixed-width
 // pass, or the cheap fault-serial pass plus the wide escalation pass of
 // adaptive grouping — over the records.  For each pass it groups the
-// still-pending faults into work units, loads them into a scheduler for the
-// given worker count and lets drain consume it (drain must not return before
-// the workers have quiesced).  Scheduler and escalation counters accumulate
-// into the master's stats.
+// still-pending faults into work units and hands them to drain together with
+// the pass spec; drain owns the dispatch (a local scheduler, or the lease
+// queue of a distributed run) and must not return before every unit of the
+// pass has been fully processed.  Escalation counters accumulate into the
+// master's stats.
 //
 // With Options.GuidedEscalation the passes are testability-guided: every
 // fault is scored up front (testability.FaultScore on the circuit's cached
@@ -143,7 +147,7 @@ func RunSharded(ctx context.Context, master *Generator, faults []paths.Fault, wo
 // Guidance only routes and orders work: which searches run, under which
 // budgets and at which widths is decided by the same pass specs, so its
 // effect is wall-clock, not coverage (see docs/ARCHITECTURE.md).
-func (g *Generator) runPasses(recs []*rec, workers int, drain func(*sched.Scheduler, passSpec)) {
+func (g *Generator) runPasses(recs []*rec, drain func(units []sched.Unit, ps PassSpec)) {
 	opts := g.opts
 	passes := opts.passes()
 
@@ -160,7 +164,7 @@ func (g *Generator) runPasses(recs []*rec, workers int, drain func(*sched.Schedu
 		}
 		g.stats.PredictedHard += nHard
 		if opts.EscalationWidth == 0 {
-			passes[len(passes)-1].width = testability.AutoWidth(nHard)
+			passes[len(passes)-1].Width = testability.AutoWidth(nHard)
 		}
 	}
 
@@ -172,7 +176,7 @@ func (g *Generator) runPasses(recs []*rec, workers int, drain func(*sched.Schedu
 			if r.res.Status != Pending {
 				continue
 			}
-			if !ps.final && hard != nil && hard[i] {
+			if !ps.Final && hard != nil && hard[i] {
 				continue // predicted hard: no cheap pass, escalate directly
 			}
 			idx = append(idx, i)
@@ -196,8 +200,7 @@ func (g *Generator) runPasses(recs []*rec, workers int, drain func(*sched.Schedu
 		if scores != nil {
 			sortHardestFirst(idx, scores)
 		}
-		sc := sched.New(opts.Schedule, workers)
-		units := sched.Group(idx, ps.width)
+		units := sched.Group(idx, ps.Width)
 		if scores != nil {
 			for ui := range units {
 				cost := 0
@@ -209,9 +212,7 @@ func (g *Generator) runPasses(recs []*rec, workers int, drain func(*sched.Schedu
 				units[ui].Cost = cost
 			}
 		}
-		sc.Load(units)
-		drain(sc, ps)
-		g.stats.Sched.Add(sc.Stats())
+		drain(units, ps)
 	}
 }
 

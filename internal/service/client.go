@@ -1,0 +1,215 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// ErrUnknownCircuit reports a hash-only submission whose circuit the
+// coordinator does not hold; the caller retries with the bench text.
+var ErrUnknownCircuit = errors.New("service: circuit not cached on coordinator")
+
+// APIError is a non-2xx coordinator response.
+type APIError struct {
+	Status  int
+	Code    string
+	Message string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("service: %s (%d %s)", e.Message, e.Status, e.Code)
+}
+
+// Client talks to a coordinator.  It is used both by end clients (submit,
+// wait, fetch results) and by workers (lease, post results); all methods are
+// safe for concurrent use.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient builds a client for the coordinator at base (e.g.
+// "http://127.0.0.1:9090").
+func NewClient(base string) *Client {
+	return &Client{base: base, hc: &http.Client{Timeout: 60 * time.Second}}
+}
+
+// do performs one JSON round trip.  A nil in skips the request body, a nil
+// out discards the response body.  Returns the HTTP status code; non-2xx
+// responses come back as *APIError.
+func (cl *Client) do(ctx context.Context, method, path string, in, out any) (int, error) {
+	var body io.Reader
+	if in != nil {
+		b, err := json.Marshal(in)
+		if err != nil {
+			return 0, err
+		}
+		body = bytes.NewReader(b)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, cl.base+API+path, body)
+	if err != nil {
+		return 0, err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := cl.hc.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer func() {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		_ = resp.Body.Close()
+	}()
+	if resp.StatusCode >= 400 {
+		apiErr := &APIError{Status: resp.StatusCode, Code: "error", Message: resp.Status}
+		var body ErrorResponse
+		if json.NewDecoder(resp.Body).Decode(&body) == nil && body.Code != "" {
+			apiErr.Code, apiErr.Message = body.Code, body.Error
+		}
+		if apiErr.Code == "unknown-circuit" {
+			return resp.StatusCode, fmt.Errorf("%w (%s)", ErrUnknownCircuit, apiErr.Message)
+		}
+		return resp.StatusCode, apiErr
+	}
+	if out != nil && resp.StatusCode != http.StatusNoContent {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return resp.StatusCode, fmt.Errorf("service: decoding %s %s response: %w", method, path, err)
+		}
+	}
+	return resp.StatusCode, nil
+}
+
+// Submit creates a job from an explicit request.  A hash-only request whose
+// circuit the coordinator does not hold fails with ErrUnknownCircuit.
+func (cl *Client) Submit(ctx context.Context, req SubmitRequest) (SubmitResponse, error) {
+	var resp SubmitResponse
+	_, err := cl.do(ctx, http.MethodPost, "/jobs", req, &resp)
+	return resp, err
+}
+
+// SubmitBench submits a job hash-first: the cheap hash-only request rides
+// the compiled-circuit cache, and only on ErrUnknownCircuit is the bench
+// text uploaded.
+func (cl *Client) SubmitBench(ctx context.Context, name, bench string, opts JobOptions, faults []WireFault) (SubmitResponse, error) {
+	req := SubmitRequest{Name: name, CircuitHash: HashBench(bench), Options: opts, Faults: faults}
+	resp, err := cl.Submit(ctx, req)
+	if errors.Is(err, ErrUnknownCircuit) {
+		req.CircuitBench = bench
+		resp, err = cl.Submit(ctx, req)
+	}
+	return resp, err
+}
+
+// Status fetches a job's lifecycle state and dispatch counters.
+func (cl *Client) Status(ctx context.Context, jobID string) (JobStatus, error) {
+	var st JobStatus
+	_, err := cl.do(ctx, http.MethodGet, "/jobs/"+jobID, nil, &st)
+	return st, err
+}
+
+// Events long-polls the job's settle-event stream from the given cursor.
+func (cl *Client) Events(ctx context.Context, jobID string, from, waitMS int) (EventsResponse, error) {
+	var resp EventsResponse
+	path := fmt.Sprintf("/jobs/%s/events?from=%d&wait_ms=%d", jobID, from, waitMS)
+	_, err := cl.do(ctx, http.MethodGet, path, nil, &resp)
+	return resp, err
+}
+
+// Results fetches a finished job's full outcome.
+func (cl *Client) Results(ctx context.Context, jobID string) (ResultsResponse, error) {
+	var resp ResultsResponse
+	_, err := cl.do(ctx, http.MethodGet, "/jobs/"+jobID+"/results", nil, &resp)
+	return resp, err
+}
+
+// Cancel cancels a job and returns its status.
+func (cl *Client) Cancel(ctx context.Context, jobID string) (JobStatus, error) {
+	var st JobStatus
+	_, err := cl.do(ctx, http.MethodDelete, "/jobs/"+jobID, nil, &st)
+	return st, err
+}
+
+// Wait polls until the job reaches a terminal state.
+func (cl *Client) Wait(ctx context.Context, jobID string, poll time.Duration) (JobStatus, error) {
+	if poll <= 0 {
+		poll = 200 * time.Millisecond
+	}
+	t := time.NewTicker(poll)
+	defer t.Stop()
+	for {
+		st, err := cl.Status(ctx, jobID)
+		if err != nil {
+			return st, err
+		}
+		switch st.State {
+		case stateDone, stateCanceled, stateFailed:
+			return st, nil
+		}
+		select {
+		case <-ctx.Done():
+			return st, ctx.Err()
+		case <-t.C:
+		}
+	}
+}
+
+// Spec fetches what a worker needs to build a job-local generator.
+func (cl *Client) Spec(ctx context.Context, jobID string) (JobSpec, error) {
+	var spec JobSpec
+	_, err := cl.do(ctx, http.MethodGet, "/jobs/"+jobID+"/spec", nil, &spec)
+	return spec, err
+}
+
+// CircuitBench fetches the .bench text of a cached circuit.
+func (cl *Client) CircuitBench(ctx context.Context, hash string) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, cl.base+API+"/circuits/"+hash, nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := cl.hc.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", &APIError{Status: resp.StatusCode, Code: "unknown-circuit", Message: "circuit not cached"}
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+// Lease asks the coordinator for up to maxUnits work units.  ok is false
+// when nothing is leasable right now (HTTP 204).
+func (cl *Client) Lease(ctx context.Context, worker string, maxUnits int) (LeaseResponse, bool, error) {
+	var resp LeaseResponse
+	code, err := cl.do(ctx, http.MethodPost, "/lease", LeaseRequest{Worker: worker, MaxUnits: maxUnits}, &resp)
+	if err != nil {
+		return resp, false, err
+	}
+	return resp, code == http.StatusOK, nil
+}
+
+// Patterns fetches the job's pattern-exchange delta since the cursor.
+func (cl *Client) Patterns(ctx context.Context, jobID string, from int) (PatternsResponse, error) {
+	var resp PatternsResponse
+	path := fmt.Sprintf("/jobs/%s/patterns?from=%d", jobID, from)
+	_, err := cl.do(ctx, http.MethodGet, path, nil, &resp)
+	return resp, err
+}
+
+// PostUnitResults reports a batch of processed units.
+func (cl *Client) PostUnitResults(ctx context.Context, jobID string, post PostResults) (PostResultsResponse, error) {
+	var resp PostResultsResponse
+	_, err := cl.do(ctx, http.MethodPost, "/jobs/"+jobID+"/results", post, &resp)
+	return resp, err
+}

@@ -1,0 +1,227 @@
+package service
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// The ledger makes jobs resumable across coordinator restarts: one JSONL
+// file per job under the ledger directory records the job itself (circuit
+// text, options, faults — everything needed to re-run it), the unit cut of
+// every pass, each completed unit with its outcomes, and the terminal state.
+// On startup the coordinator replays incomplete ledgers: the job is rebuilt,
+// recorded unit completions are applied without re-dispatching them (no
+// patterns are re-generated for already-merged units), and only the
+// remainder is leased out.  Replay is sound because the pass cut is a
+// deterministic function of the (replayed) outcomes, and applying a
+// recorded outcome is exactly what applying the live report was.
+//
+// Records are appended, never rewritten; a torn final line (crash mid-write)
+// is ignored on load.  Worker effort deltas are not ledgered — they are
+// informational, and the search effort of pre-crash units is simply absent
+// from a resumed job's statistics.
+
+// ledgerRecord is one JSONL line; T selects which fields are meaningful.
+type ledgerRecord struct {
+	T string `json:"t"` // "job", "pass", "unit" or "state"
+
+	// T == "job"
+	ID      string      `json:"id,omitempty"`
+	Name    string      `json:"name,omitempty"`
+	Hash    string      `json:"hash,omitempty"`
+	Bench   string      `json:"bench,omitempty"`
+	Options *JobOptions `json:"options,omitempty"`
+	Faults  []WireFault `json:"faults,omitempty"`
+
+	// T == "pass"
+	Seq   int       `json:"seq,omitempty"`
+	Spec  *WireSpec `json:"spec,omitempty"`
+	Units [][]int   `json:"units,omitempty"`
+
+	// T == "unit"
+	Pass       int           `json:"pass,omitempty"`
+	Unit       int           `json:"unit"`
+	Worker     string        `json:"worker,omitempty"`
+	UnitFaults []int         `json:"unit_faults,omitempty"`
+	Outcomes   []WireOutcome `json:"outcomes,omitempty"`
+
+	// T == "state"
+	State string `json:"state,omitempty"`
+}
+
+// Ledger appends the records of one job.  All methods are safe for
+// concurrent use and a nil *Ledger is a valid no-op (persistence disabled).
+type Ledger struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+// OpenLedger opens (creating or appending) the ledger file of a job.
+func OpenLedger(dir, jobID string) (*Ledger, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(filepath.Join(dir, jobID+".jsonl"), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &Ledger{f: f}, nil
+}
+
+func (l *Ledger) append(rec ledgerRecord) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return
+	}
+	b = append(b, '\n')
+	_, _ = l.f.Write(b)
+}
+
+// RecordJob records the job itself: everything a restarted coordinator needs
+// to re-run it from scratch.
+func (l *Ledger) RecordJob(id, name, hash, bench string, opts JobOptions, faults []WireFault) {
+	l.append(ledgerRecord{T: "job", ID: id, Name: name, Hash: hash, Bench: bench, Options: &opts, Faults: faults})
+}
+
+// RecordPass records the unit cut of one pass.
+func (l *Ledger) RecordPass(seq int, spec WireSpec, units [][]int) {
+	l.append(ledgerRecord{T: "pass", Seq: seq, Spec: &spec, Units: units})
+}
+
+// RecordUnit records one completed unit with its outcomes.
+func (l *Ledger) RecordUnit(pass, unit int, worker string, faults []int, outcomes []WireOutcome) {
+	l.append(ledgerRecord{T: "unit", Pass: pass, Unit: unit, Worker: worker, UnitFaults: faults, Outcomes: outcomes})
+}
+
+// RecordState records a terminal state ("done", "canceled" or "failed").
+func (l *Ledger) RecordState(state string) {
+	l.append(ledgerRecord{T: "state", State: state})
+}
+
+// Close closes the underlying file.
+func (l *Ledger) Close() {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	_ = l.f.Close()
+}
+
+// LedgerJob is the replayable content of one job's ledger.
+type LedgerJob struct {
+	ID      string
+	Name    string
+	Hash    string
+	Bench   string
+	Options JobOptions
+	Faults  []WireFault
+	// State is the last terminal state recorded, or "" for a job the
+	// coordinator should resume.
+	State string
+	// Passes and Units hold the recorded pass cuts and unit completions,
+	// keyed by pass sequence number.
+	Passes map[int]LedgerPass
+	Units  map[int][]LedgerUnit
+}
+
+// LedgerPass is a recorded pass cut.
+type LedgerPass struct {
+	Spec  WireSpec
+	Units [][]int
+}
+
+// LedgerUnit is a recorded unit completion.
+type LedgerUnit struct {
+	Unit     int
+	Worker   string
+	Faults   []int
+	Outcomes []WireOutcome
+}
+
+// LoadLedgers reads every job ledger under dir, sorted by file name for a
+// deterministic resume order.  Unparseable lines (a torn tail after a
+// crash) are skipped; files without a job record are ignored.
+func LoadLedgers(dir string) ([]*LedgerJob, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "*.jsonl"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(matches)
+	var out []*LedgerJob
+	for _, path := range matches {
+		lj, err := loadLedgerFile(path)
+		if err != nil {
+			return nil, fmt.Errorf("service: ledger %s: %w", path, err)
+		}
+		if lj != nil {
+			out = append(out, lj)
+		}
+	}
+	return out, nil
+}
+
+func loadLedgerFile(path string) (*LedgerJob, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var lj *LedgerJob
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 64*1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var rec ledgerRecord
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			continue // torn tail from a crash mid-append: ignore
+		}
+		switch rec.T {
+		case "job":
+			lj = &LedgerJob{
+				ID:     rec.ID,
+				Name:   rec.Name,
+				Hash:   rec.Hash,
+				Bench:  rec.Bench,
+				Faults: rec.Faults,
+				Passes: make(map[int]LedgerPass),
+				Units:  make(map[int][]LedgerUnit),
+			}
+			if rec.Options != nil {
+				lj.Options = *rec.Options
+			}
+		case "pass":
+			if lj != nil && rec.Spec != nil {
+				lj.Passes[rec.Seq] = LedgerPass{Spec: *rec.Spec, Units: rec.Units}
+			}
+		case "unit":
+			if lj != nil {
+				lj.Units[rec.Pass] = append(lj.Units[rec.Pass], LedgerUnit{
+					Unit: rec.Unit, Worker: rec.Worker, Faults: rec.UnitFaults, Outcomes: rec.Outcomes,
+				})
+			}
+		case "state":
+			if lj != nil {
+				lj.State = rec.State
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return lj, nil
+}

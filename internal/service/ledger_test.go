@@ -1,0 +1,197 @@
+package service
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/paths"
+)
+
+// driveWorker is a hand-cranked worker: it leases units one at a time,
+// processes them through a job-local generator and posts the results, until
+// it has completed n units or the job reaches a terminal state.  It returns
+// the unit IDs it processed, by pass — the exact accounting the resume test
+// needs to prove replayed units are never re-dispatched.
+func driveWorker(t *testing.T, cl *Client, worker, jobID string, c *circuit.Circuit, n int) map[int][]int {
+	t.Helper()
+	ctx := context.Background()
+	var (
+		gen    *core.Generator
+		faults []paths.Fault
+	)
+	processed := make(map[int][]int)
+	done := 0
+	for done < n {
+		lease, ok, err := cl.Lease(ctx, worker, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			st, err := cl.Status(ctx, jobID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			switch st.State {
+			case stateDone, stateCanceled, stateFailed:
+				return processed
+			}
+			time.Sleep(5 * time.Millisecond)
+			continue
+		}
+		if gen == nil {
+			spec, err := cl.Spec(ctx, lease.JobID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opts, err := spec.Options.ToCore()
+			if err != nil {
+				t.Fatal(err)
+			}
+			gen = core.New(c, opts)
+			if faults, err = DecodeFaults(c, spec.Faults); err != nil {
+				t.Fatal(err)
+			}
+		}
+		spec := DecodeSpec(lease.Spec)
+		post := PostResults{Worker: worker, Pass: lease.Pass}
+		for _, u := range lease.Units {
+			ufaults := make([]paths.Fault, len(u.Faults))
+			for i, fi := range u.Faults {
+				ufaults[i] = faults[fi]
+			}
+			prev := gen.Stats()
+			outs := gen.ProcessRemoteUnit(ctx, ufaults, spec, nil)
+			post.Effort = gen.Stats().EffortDelta(prev)
+			wire := make([]WireOutcome, len(outs))
+			for i, o := range outs {
+				wire[i] = EncodeOutcome(o)
+			}
+			post.Units = append(post.Units, UnitResult{ID: u.ID, Faults: u.Faults, Outcomes: wire})
+			processed[lease.Pass] = append(processed[lease.Pass], u.ID)
+			done++
+		}
+		if _, err := cl.PostUnitResults(ctx, lease.JobID, post); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return processed
+}
+
+// TestServiceLedgerResume crashes the coordinator after N units and
+// restarts it on the same ledger directory: the job must resume under the
+// same ID, replay exactly the N recorded units without re-dispatching them,
+// and finish with statuses and test set identical to an uninterrupted
+// single-process run.
+func TestServiceLedgerResume(t *testing.T) {
+	dir := t.TempDir()
+	c, text := benchText(t, "c432")
+	faults := paths.SampleFaults(c, 48, 1995)
+	// Escalation's width-1 first pass makes the accounting exact: pass 1 is
+	// one unit per fault.
+	opts := JobOptions{SimInterval: intp(0), Escalate: 8, Compact: "reverse"}
+	localResults, localTests, _ := localRun(t, c, opts, faults)
+	ctx := context.Background()
+
+	// Phase 1: merge preCrash units, then stop the coordinator.  Shutdown
+	// records no terminal ledger state — the job stays resumable.
+	coA, err := NewCoordinator(Config{LedgerDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srvA := httptest.NewServer(coA)
+	clA := NewClient(srvA.URL)
+	sub, err := clA.SubmitBench(ctx, "c432", text, opts, EncodeFaults(c, faults))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const preCrash = 12
+	driveWorker(t, clA, "wA", sub.JobID, c, preCrash)
+	srvA.Close()
+	coA.Close()
+
+	// Phase 2: a fresh coordinator on the same ledger resumes the job.
+	coB, err := NewCoordinator(Config{LedgerDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coB.Close()
+	srvB := httptest.NewServer(coB)
+	defer srvB.Close()
+	clB := NewClient(srvB.URL)
+
+	if _, err := clB.Status(ctx, sub.JobID); err != nil {
+		t.Fatalf("resumed coordinator does not know job %s: %v", sub.JobID, err)
+	}
+	processed := driveWorker(t, clB, "wB", sub.JobID, c, 1<<30)
+	st, err := clB.Wait(ctx, sub.JobID, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != stateDone {
+		t.Fatalf("resumed job finished in state %q", st.State)
+	}
+	if st.Replayed != preCrash {
+		t.Fatalf("replayed %d units from the ledger, want %d", st.Replayed, preCrash)
+	}
+	// No re-generated patterns for merged units: pass 1 has exactly one
+	// unit per fault, and worker B processed only the remainder.
+	if got, want := len(processed[1]), len(faults)-preCrash; got != want {
+		t.Fatalf("worker processed %d pass-1 units after resume, want %d (replayed units re-dispatched)", got, want)
+	}
+
+	resp, err := clB.Results(ctx, sub.JobID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range resp.Results {
+		if want := localResults[i].Status.String(); r.Status != want {
+			t.Fatalf("fault %d (%s): status %s, local %s", i, r.Describe, r.Status, want)
+		}
+	}
+	if resp.Tests != localTests {
+		t.Fatal("merged test set differs from the uninterrupted run")
+	}
+}
+
+// TestServiceLedgerTerminalNotResumed checks that finished jobs stay
+// finished: a restart on a ledger holding a completed job must not re-run
+// it.
+func TestServiceLedgerTerminalNotResumed(t *testing.T) {
+	dir := t.TempDir()
+	c, text := benchText(t, "c432")
+	faults := paths.SampleFaults(c, 8, 1995)
+	opts := JobOptions{SimInterval: intp(0)}
+	ctx := context.Background()
+
+	coA, err := NewCoordinator(Config{LedgerDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srvA := httptest.NewServer(coA)
+	clA := NewClient(srvA.URL)
+	sub, err := clA.SubmitBench(ctx, "c432", text, opts, EncodeFaults(c, faults))
+	if err != nil {
+		t.Fatal(err)
+	}
+	driveWorker(t, clA, "wA", sub.JobID, c, 1<<30)
+	if st, err := clA.Wait(ctx, sub.JobID, 10*time.Millisecond); err != nil || st.State != stateDone {
+		t.Fatalf("job did not finish cleanly: %v %+v", err, st)
+	}
+	srvA.Close()
+	coA.Close()
+
+	coB, err := NewCoordinator(Config{LedgerDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coB.Close()
+	srvB := httptest.NewServer(coB)
+	defer srvB.Close()
+	if _, err := NewClient(srvB.URL).Status(ctx, sub.JobID); err == nil {
+		t.Fatal("terminal job resurrected after restart")
+	}
+}

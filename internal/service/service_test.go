@@ -1,0 +1,428 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/paths"
+)
+
+// benchText loads a built-in circuit and renders the exact .bench text a
+// client would submit.
+func benchText(tb testing.TB, name string) (*circuit.Circuit, string) {
+	tb.Helper()
+	c, err := bench.Get(name)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := circuit.WriteBench(&buf, c); err != nil {
+		tb.Fatal(err)
+	}
+	return c, buf.String()
+}
+
+// localRun is the single-process baseline a distributed run must match:
+// a sharded in-process run, whose canonical fault-order merge + compaction
+// is exactly the pipeline distributed results flow through.  (Statuses are
+// in turn identical to the sequential generator's — that is the engine's
+// own determinism contract, covered by the core tests.)
+func localRun(t *testing.T, c *circuit.Circuit, opts JobOptions, faults []paths.Fault) ([]core.FaultResult, string, core.Stats) {
+	t.Helper()
+	coreOpts, err := opts.ToCore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	master := core.New(c, coreOpts)
+	results := core.RunSharded(context.Background(), master, faults, 2)
+	var buf bytes.Buffer
+	if err := master.TestSet().Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return results, buf.String(), master.Stats()
+}
+
+// startWorkers runs n service workers against the coordinator URL and
+// returns a stop function that waits for them to exit.
+func startWorkers(t *testing.T, url string, n int) (stop func()) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wk := NewWorker(WorkerConfig{
+			Coordinator: url,
+			ID:          "w" + string(rune('1'+i)),
+			Poll:        10 * time.Millisecond,
+			JobPoll:     50 * time.Millisecond,
+		})
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = wk.Run(ctx)
+		}()
+	}
+	return func() {
+		cancel()
+		wg.Wait()
+	}
+}
+
+// classOf collapses a status name to its coverage class: "tested" and
+// "detected-by-simulation" both mean the merged set covers the fault, and
+// which one a fault gets depends on worker interleaving when the
+// interleaved simulation is on.
+func classOf(status string) string {
+	if status == "tested" || status == "detected-by-simulation" {
+		return "detected"
+	}
+	return status
+}
+
+func intp(v int) *int { return &v }
+
+// TestServiceMatchesLocal is the service's half of the determinism
+// contract: a distributed run over real HTTP with two workers, work
+// stealing and escalation on must be bit-identical in statuses — and
+// byte-identical in the merged, compacted test set — to a single-process
+// run with the same options while the interleaved simulation is off.  With
+// the simulation on, Tested and DetectedBySim may swap between workers, but
+// the coverage class of every fault and the total coverage must not move.
+func TestServiceMatchesLocal(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		sim  *int
+	}{
+		{"c432", intp(0)},
+		{"c499", intp(0)},
+		{"c880", intp(0)},
+		{"c432-sim", nil}, // default interval: interleaved simulation on
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			circuitName := tc.name
+			if tc.sim == nil {
+				circuitName = "c432"
+			}
+			c, text := benchText(t, circuitName)
+			faults := paths.SampleFaults(c, 128, 1995)
+			opts := JobOptions{
+				Schedule:    "steal",
+				Escalate:    8,
+				SimInterval: tc.sim,
+				Compact:     "reverse",
+			}
+			localResults, localTests, localStats := localRun(t, c, opts, faults)
+
+			co, err := NewCoordinator(Config{LeaseTTL: 5 * time.Second})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer co.Close()
+			srv := httptest.NewServer(co)
+			defer srv.Close()
+			stop := startWorkers(t, srv.URL, 2)
+			defer stop()
+
+			cl := NewClient(srv.URL)
+			ctx := context.Background()
+			sub, err := cl.SubmitBench(ctx, circuitName, text, opts, EncodeFaults(c, faults))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sub.Faults != len(faults) {
+				t.Fatalf("submit accepted %d faults, want %d", sub.Faults, len(faults))
+			}
+			st, err := cl.Wait(ctx, sub.JobID, 20*time.Millisecond)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.State != "done" {
+				t.Fatalf("job finished in state %q", st.State)
+			}
+			if st.Settled != len(faults) {
+				t.Fatalf("settled %d of %d faults", st.Settled, len(faults))
+			}
+			resp, err := cl.Results(ctx, sub.JobID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(resp.Results) != len(localResults) {
+				t.Fatalf("got %d results, want %d", len(resp.Results), len(localResults))
+			}
+			simOn := tc.sim == nil
+			for i, r := range resp.Results {
+				want := localResults[i].Status.String()
+				if simOn {
+					if classOf(r.Status) != classOf(want) {
+						t.Fatalf("fault %d (%s): coverage class %s, local %s", i, r.Describe, r.Status, want)
+					}
+					continue
+				}
+				if r.Status != want {
+					t.Fatalf("fault %d (%s): status %s, local %s", i, r.Describe, r.Status, want)
+				}
+				if r.PatternIndex != localResults[i].PatternIndex {
+					t.Fatalf("fault %d: pattern index %d, local %d", i, r.PatternIndex, localResults[i].PatternIndex)
+				}
+			}
+			if !simOn && resp.Tests != localTests {
+				t.Fatalf("merged test set differs from local run:\nremote:\n%s\nlocal:\n%s", resp.Tests, localTests)
+			}
+			// Coverage must match in every mode.
+			if got, want := resp.Stats.Coverage(), localStats.Coverage(); got != want {
+				t.Fatalf("coverage %.4f, local %.4f", got, want)
+			}
+			if resp.Stats.Tested+resp.Stats.DetectedBySim != localStats.Tested+localStats.DetectedBySim {
+				t.Fatalf("detected %d, local %d",
+					resp.Stats.Tested+resp.Stats.DetectedBySim, localStats.Tested+localStats.DetectedBySim)
+			}
+		})
+	}
+}
+
+// TestServiceRequeue kills a lease without completing it: a ghost worker
+// grabs units and vanishes, the TTL expires, and the coordinator requeues
+// the units to a live worker.  The run must still finish with the exact
+// single-process statuses (at-least-once delivery cannot change
+// classifications), and the late ghost report must be discarded as stale.
+func TestServiceRequeue(t *testing.T) {
+	c, text := benchText(t, "c432")
+	faults := paths.SampleFaults(c, 48, 1995)
+	opts := JobOptions{Schedule: "steal", SimInterval: intp(0), Compact: "reverse"}
+	localResults, localTests, _ := localRun(t, c, opts, faults)
+
+	co, err := NewCoordinator(Config{
+		LeaseTTL:       300 * time.Millisecond,
+		ExpireInterval: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer co.Close()
+	srv := httptest.NewServer(co)
+	defer srv.Close()
+	cl := NewClient(srv.URL)
+	ctx := context.Background()
+
+	sub, err := cl.SubmitBench(ctx, "c432", text, opts, EncodeFaults(c, faults))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The ghost leases a batch and never reports back.
+	var ghost LeaseResponse
+	for i := 0; i < 100; i++ {
+		lease, ok, err := cl.Lease(ctx, "ghost", 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			ghost = lease
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if len(ghost.Units) == 0 {
+		t.Fatal("ghost never got a lease")
+	}
+
+	stop := startWorkers(t, srv.URL, 1)
+	defer stop()
+	st, err := cl.Wait(ctx, sub.JobID, 20*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != "done" {
+		t.Fatalf("job finished in state %q", st.State)
+	}
+	if st.Requeues < 1 {
+		t.Fatalf("requeues = %d, want >= 1 after the ghost's lease expired", st.Requeues)
+	}
+	resp, err := cl.Results(ctx, sub.JobID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range resp.Results {
+		if want := localResults[i].Status.String(); r.Status != want {
+			t.Fatalf("fault %d: status %s, local %s (requeue changed a classification)", i, r.Status, want)
+		}
+	}
+	if resp.Tests != localTests {
+		t.Fatal("merged test set differs from local run after requeue")
+	}
+	// The ghost finally reports in: the pass is long gone, so the batch is
+	// discarded as stale rather than applied or errored.
+	late := PostResults{Worker: "ghost", Pass: ghost.Pass}
+	for _, u := range ghost.Units {
+		outs := make([]WireOutcome, len(u.Faults))
+		for i := range outs {
+			outs[i] = WireOutcome{Status: "redundant", Phase: "aptpg"}
+		}
+		late.Units = append(late.Units, UnitResult{ID: u.ID, Faults: u.Faults, Outcomes: outs})
+	}
+	lateResp, err := cl.PostUnitResults(ctx, sub.JobID, late)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !lateResp.Stale {
+		t.Fatal("late ghost report not flagged stale")
+	}
+}
+
+// TestServiceCancel checks client-driven cancellation: with no workers
+// attached the job would wait forever, so DELETE must cancel the run,
+// settle every fault and land the job in the terminal canceled state.
+func TestServiceCancel(t *testing.T) {
+	c, text := benchText(t, "c432")
+	faults := paths.SampleFaults(c, 16, 1995)
+	co, err := NewCoordinator(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer co.Close()
+	srv := httptest.NewServer(co)
+	defer srv.Close()
+	cl := NewClient(srv.URL)
+	ctx := context.Background()
+
+	sub, err := cl.SubmitBench(ctx, "c432", text, JobOptions{SimInterval: intp(0)}, EncodeFaults(c, faults))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Cancel(ctx, sub.JobID); err != nil {
+		t.Fatal(err)
+	}
+	st, err := cl.Wait(ctx, sub.JobID, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != "canceled" {
+		t.Fatalf("state %q after cancel, want canceled", st.State)
+	}
+	resp, err := cl.Results(ctx, sub.JobID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.State != "canceled" {
+		t.Fatalf("results state %q, want canceled", resp.State)
+	}
+	for _, r := range resp.Results {
+		if r.Status == "pending" {
+			t.Fatalf("fault %s left pending after cancel", r.Describe)
+		}
+	}
+}
+
+// TestServiceMultiTenant runs two jobs on different circuits through one
+// worker pool concurrently; each must match its own single-process run.
+func TestServiceMultiTenant(t *testing.T) {
+	opts := JobOptions{Schedule: "steal", SimInterval: intp(0), Compact: "reverse"}
+	type tenant struct {
+		name    string
+		c       *circuit.Circuit
+		text    string
+		faults  []paths.Fault
+		jobID   string
+		results []core.FaultResult
+		tests   string
+	}
+	tenants := []*tenant{{name: "c432"}, {name: "c880"}}
+	for _, tn := range tenants {
+		tn.c, tn.text = benchText(t, tn.name)
+		tn.faults = paths.SampleFaults(tn.c, 64, 1995)
+		tn.results, tn.tests, _ = localRun(t, tn.c, opts, tn.faults)
+	}
+
+	co, err := NewCoordinator(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer co.Close()
+	srv := httptest.NewServer(co)
+	defer srv.Close()
+	stop := startWorkers(t, srv.URL, 2)
+	defer stop()
+	cl := NewClient(srv.URL)
+	ctx := context.Background()
+
+	for _, tn := range tenants {
+		sub, err := cl.SubmitBench(ctx, tn.name, tn.text, opts, EncodeFaults(tn.c, tn.faults))
+		if err != nil {
+			t.Fatal(err)
+		}
+		tn.jobID = sub.JobID
+	}
+	for _, tn := range tenants {
+		st, err := cl.Wait(ctx, tn.jobID, 20*time.Millisecond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State != "done" {
+			t.Fatalf("%s finished in state %q", tn.name, st.State)
+		}
+		resp, err := cl.Results(ctx, tn.jobID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, r := range resp.Results {
+			if want := tn.results[i].Status.String(); r.Status != want {
+				t.Fatalf("%s fault %d: status %s, local %s", tn.name, i, r.Status, want)
+			}
+		}
+		if resp.Tests != tn.tests {
+			t.Fatalf("%s: merged test set differs from local run", tn.name)
+		}
+	}
+}
+
+// TestServiceEvents checks the settle-event stream: every fault settles
+// exactly once, and the stream terminates with Done once the job is over.
+func TestServiceEvents(t *testing.T) {
+	c, text := benchText(t, "c432")
+	faults := paths.SampleFaults(c, 32, 1995)
+	co, err := NewCoordinator(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer co.Close()
+	srv := httptest.NewServer(co)
+	defer srv.Close()
+	stop := startWorkers(t, srv.URL, 2)
+	defer stop()
+	cl := NewClient(srv.URL)
+	ctx := context.Background()
+
+	sub, err := cl.SubmitBench(ctx, "c432", text, JobOptions{SimInterval: intp(0)}, EncodeFaults(c, faults))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := 0
+	from := 0
+	for {
+		ev, err := cl.Events(ctx, sub.JobID, from, 2000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range ev.Events {
+			if e.PatternIndex != -1 {
+				t.Fatalf("settle event carries pattern index %d, want -1 (merge has not happened)", e.PatternIndex)
+			}
+			if e.Status == "pending" {
+				t.Fatal("settle event with pending status")
+			}
+			seen++
+		}
+		from = ev.Next
+		if ev.Done {
+			break
+		}
+	}
+	if seen != len(faults) {
+		t.Fatalf("event stream delivered %d settles for %d faults", seen, len(faults))
+	}
+}
