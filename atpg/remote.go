@@ -10,8 +10,29 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/pattern"
+	"repro/internal/retry"
 	"repro/internal/service"
 )
+
+// cancelPropagationTimeout bounds the best-effort DELETE that propagates a
+// local cancellation to the coordinator.  The job context is already dead at
+// that point, so the request runs on its own clock; if the coordinator does
+// not answer within this window the job is left to the coordinator's own
+// lease expiry and the caller still observes ErrCanceled.
+const cancelPropagationTimeout = 5 * time.Second
+
+// cancelTimeout is cancelPropagationTimeout as a variable so tests can
+// shrink the window when exercising the DELETE-itself-times-out branch.
+var cancelTimeout = cancelPropagationTimeout
+
+// propagateCancel tells the coordinator to cancel jobID on a fresh,
+// self-deadlined context.  Errors are deliberately dropped: cancellation is
+// best-effort and the caller's outcome (ErrCanceled) is already decided.
+func propagateCancel(cl *service.Client, jobID string) {
+	cctx, cancel := context.WithTimeout(context.Background(), cancelTimeout)
+	defer cancel()
+	_, _ = cl.Cancel(cctx, jobID)
+}
 
 // ErrRemoteOption is returned by New when an option cannot be carried over
 // the wire to a remote coordinator (currently only WithXFill: a custom
@@ -111,10 +132,8 @@ func (e *Engine) runRemote(ctx context.Context, faults []Fault) ([]Result, error
 	if jobErr != nil {
 		if ctx.Err() != nil {
 			// Propagate the cancellation to the coordinator; the job context
-			// is gone, so use a fresh short-lived one for the DELETE.
-			cctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-			_, _ = cl.Cancel(cctx, sub.JobID)
-			cancel()
+			// is gone, so propagateCancel runs the DELETE on its own clock.
+			propagateCancel(cl, sub.JobID)
 			return nil, fmt.Errorf("%w: %w", ErrCanceled, context.Cause(ctx))
 		}
 		return nil, jobErr
@@ -137,13 +156,27 @@ func (e *Engine) runRemote(ctx context.Context, faults []Fault) ([]Result, error
 // followEvents long-polls the job's settle events, feeding each decoded
 // result to the engine's progress callback and to yield.  It returns when
 // the stream reports done, yield stops it, or ctx ends.
+//
+// A transient failure of the feed — coordinator restart, dropped connection,
+// severed response — does not fail the job: the loop backs off and
+// reconnects, resuming from the last seen event sequence, so no settle event
+// is delivered twice and none is lost.  Only terminal errors (the job is
+// unknown, the request is malformed) or the caller's context ending stop it.
 func (e *Engine) followEvents(ctx context.Context, cl *service.Client, jobID string, yield func(Result) bool) error {
 	from := 0
+	reconnect := retry.Policy{Initial: 200 * time.Millisecond, Max: 5 * time.Second, Attempts: -1}.Backoff()
 	for {
 		ev, err := cl.Events(ctx, jobID, from, 2000)
 		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			if retry.Classify(err) == retry.Transient && reconnect.Sleep(ctx, err) {
+				continue // same cursor: resume exactly where the feed broke
+			}
 			return err
 		}
+		reconnect.Reset()
 		for _, w := range ev.Events {
 			r, err := service.DecodeResult(e.circuit.c, w)
 			if err != nil {
@@ -187,9 +220,7 @@ func (e *Engine) streamRemote(ctx context.Context, faults []Fault) func(yield fu
 			return true
 		})
 		if err != nil || stopped {
-			cctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-			_, _ = cl.Cancel(cctx, sub.JobID)
-			cancel()
+			propagateCancel(cl, sub.JobID)
 			return
 		}
 		if resp, err := cl.Results(context.WithoutCancel(ctx), sub.JobID); err == nil {

@@ -14,7 +14,13 @@
 // bit-parallel generator and streams results back.  Killing a worker is
 // safe at any point: its outstanding leases expire and are requeued.
 //
-// Both roles shut down cleanly on SIGINT/SIGTERM.
+// Both roles shut down cleanly on SIGINT/SIGTERM; a worker prints its loop
+// counters (leases, units, idle polls, lease errors) on the way out.
+//
+// Both roles accept -chaos, a comma-separated fault-injection spec (e.g.
+// -chaos "seed=7,drop=0.1,sever=0.05,storm-after=200") for resilience
+// testing: on a worker the faults hit its HTTP transport, on a coordinator
+// they hit ledger appends and the lease clock.  See internal/chaos.
 package main
 
 import (
@@ -28,6 +34,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/service"
 )
 
@@ -38,6 +45,7 @@ func main() {
 		// Coordinator flags.
 		listen        = flag.String("listen", "127.0.0.1:9090", "coordinator listen address")
 		ledger        = flag.String("ledger", "", "directory for per-job ledger files (empty = no persistence, jobs are not resumable)")
+		compactAt     = flag.Int64("compact-watermark", 0, "ledger bytes that trigger a snapshot-and-truncate compaction (0 = 16MB default, negative = only compact on resume)")
 		leaseTTL      = flag.Duration("lease", 30*time.Second, "work unit lease time-to-live; expired leases are requeued")
 		exchangeCap   = flag.Int("exchange-cap", 4096, "bound on the buffered cross-worker pattern exchange (oldest dropped first)")
 		maxActive     = flag.Int("max-active", 4, "jobs generating concurrently; further jobs queue")
@@ -49,8 +57,22 @@ func main() {
 		id          = flag.String("id", "", "worker ID; must be unique per fleet (default: host/pid derived)")
 		maxUnits    = flag.Int("max-units", 4, "units requested per lease (worker role)")
 		poll        = flag.Duration("poll", 100*time.Millisecond, "lease poll interval when idle (worker role)")
+
+		// Shared.
+		chaosSpec = flag.String("chaos", "", "fault-injection spec, e.g. seed=7,drop=0.1,sever=0.05,tear=0.1,storm-after=200 (empty = off)")
 	)
 	flag.Parse()
+
+	var inj *chaos.Injector
+	if *chaosSpec != "" {
+		cfg, err := chaos.Parse(*chaosSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "atpgd:", err)
+			os.Exit(2)
+		}
+		inj = chaos.New(cfg)
+		fmt.Printf("atpgd: chaos injection armed: %s\n", *chaosSpec)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -59,12 +81,14 @@ func main() {
 	switch *role {
 	case "coordinator":
 		err = runCoordinator(ctx, service.Config{
-			LeaseTTL:      *leaseTTL,
-			ExchangeCap:   *exchangeCap,
-			MaxActive:     *maxActive,
-			CacheSize:     *cacheSize,
-			UnitsPerLease: *unitsPerLease,
-			LedgerDir:     *ledger,
+			LeaseTTL:         *leaseTTL,
+			ExchangeCap:      *exchangeCap,
+			MaxActive:        *maxActive,
+			CacheSize:        *cacheSize,
+			UnitsPerLease:    *unitsPerLease,
+			LedgerDir:        *ledger,
+			CompactWatermark: *compactAt,
+			Chaos:            inj,
 		}, *listen)
 	case "worker":
 		wid := *id
@@ -73,12 +97,17 @@ func main() {
 			wid = fmt.Sprintf("%s-%d", host, os.Getpid())
 		}
 		fmt.Printf("atpgd: worker %s polling %s\n", wid, *coordinator)
-		err = service.NewWorker(service.WorkerConfig{
+		wk := service.NewWorker(service.WorkerConfig{
 			Coordinator: *coordinator,
 			ID:          wid,
 			MaxUnits:    *maxUnits,
 			Poll:        *poll,
-		}).Run(ctx)
+			Transport:   inj.Transport(nil),
+		})
+		err = wk.Run(ctx)
+		cnt := wk.Counters()
+		fmt.Printf("atpgd: worker %s: %d leases, %d units, %d idle polls, %d lease errors\n",
+			wid, cnt.Leases, cnt.Units, cnt.IdlePolls, cnt.LeaseErrors)
 	default:
 		err = fmt.Errorf("unknown role %q (want coordinator or worker)", *role)
 	}

@@ -1,0 +1,367 @@
+// Package chaos is the repo's deterministic fault-injection harness: a
+// seeded failpoint framework that injects the failures the resilience layer
+// (internal/retry, the reconnecting service client, the ledger) claims to
+// survive, so those claims are tested instead of assumed.
+//
+// Three failpoint sites cover the service's failure surface:
+//
+//   - the client transport (Transport): requests dropped before they are
+//     sent, responses severed mid-body, added latency, and synthetic 503s
+//     with a Retry-After hint;
+//   - ledger appends (TearWrite): short writes modelling a crash mid-append,
+//     leaving the torn tail the loader must skip;
+//   - the lease clock (Clock): a one-shot forward skew after a configured
+//     number of reads — every outstanding lease expires at once, the
+//     "expiry storm" a stalled coordinator unleashes on recovery.
+//
+// All randomness flows from one seed through per-site generators, so a
+// single-threaded test replays a failure schedule exactly; under
+// concurrency the per-site draw sequence is still fixed — only which caller
+// receives which draw varies with goroutine interleaving.  An Injector is
+// wired into atpgd behind -chaos and is usable directly from tests; a nil
+// *Injector is valid everywhere and injects nothing.
+package chaos
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+)
+
+// ErrTorn marks a ledger write the injector cut short.
+var ErrTorn = fmt.Errorf("chaos: torn write")
+
+// Config selects which faults to inject and how often.  Probabilities are
+// in [0, 1]; the zero value injects nothing.
+type Config struct {
+	// Seed drives every injection decision; the same seed replays the same
+	// per-site schedule.  0 picks an arbitrary seed.
+	Seed int64
+	// Drop is the probability a request fails before reaching the server
+	// (connection-refused shape: provably never sent).
+	Drop float64
+	// Sever is the probability a response body is cut off mid-read after
+	// the server has fully processed the request (the indeterminate case).
+	Sever float64
+	// DelayP is the probability a request is delayed by up to Delay.
+	DelayP float64
+	// Delay is the maximum injected latency.  Default 20ms when DelayP > 0.
+	Delay time.Duration
+	// Unavail is the probability of a synthetic 503 carrying RetryAfter.
+	Unavail float64
+	// RetryAfter is the hint on synthetic 503s (header granularity is
+	// seconds; sub-second hints set no header).  Default 50ms.
+	RetryAfter time.Duration
+	// Tear is the probability a ledger append is written short.
+	Tear float64
+	// StormAfter, when positive, skews the clock forward by StormSkew after
+	// that many reads — a one-shot lease-expiry storm.
+	StormAfter int
+	// StormSkew is the storm's forward jump.  Default 1m.
+	StormSkew time.Duration
+}
+
+func (cfg Config) withDefaults() Config {
+	if cfg.Seed == 0 {
+		cfg.Seed = rand.Int63()
+	}
+	if cfg.Delay <= 0 && cfg.DelayP > 0 {
+		cfg.Delay = 20 * time.Millisecond
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = 50 * time.Millisecond
+	}
+	if cfg.StormSkew <= 0 {
+		cfg.StormSkew = time.Minute
+	}
+	return cfg
+}
+
+// Parse reads the -chaos flag syntax: comma-separated key=value pairs, e.g.
+//
+//	seed=7,drop=0.1,sever=0.05,delay=20ms,delayp=0.2,unavail=0.02,
+//	tear=0.1,storm-after=200,storm-skew=2m
+//
+// Unknown keys are errors, so a typo does not silently disable a fault.
+func Parse(spec string) (Config, error) {
+	var cfg Config
+	if strings.TrimSpace(spec) == "" {
+		return cfg, nil
+	}
+	for _, field := range strings.Split(spec, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(field, "=")
+		if !ok {
+			return cfg, fmt.Errorf("chaos: %q is not key=value", field)
+		}
+		var err error
+		switch key {
+		case "seed":
+			cfg.Seed, err = strconv.ParseInt(val, 10, 64)
+		case "drop":
+			cfg.Drop, err = parseProb(val)
+		case "sever":
+			cfg.Sever, err = parseProb(val)
+		case "delayp":
+			cfg.DelayP, err = parseProb(val)
+		case "delay":
+			cfg.Delay, err = time.ParseDuration(val)
+		case "unavail":
+			cfg.Unavail, err = parseProb(val)
+		case "retry-after":
+			cfg.RetryAfter, err = time.ParseDuration(val)
+		case "tear":
+			cfg.Tear, err = parseProb(val)
+		case "storm-after":
+			cfg.StormAfter, err = strconv.Atoi(val)
+		case "storm-skew":
+			cfg.StormSkew, err = time.ParseDuration(val)
+		default:
+			return cfg, fmt.Errorf("chaos: unknown key %q", key)
+		}
+		if err != nil {
+			return cfg, fmt.Errorf("chaos: %s=%s: %w", key, val, err)
+		}
+	}
+	return cfg, nil
+}
+
+func parseProb(s string) (float64, error) {
+	p, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, err
+	}
+	if p < 0 || p > 1 {
+		return 0, fmt.Errorf("probability %v outside [0, 1]", p)
+	}
+	return p, nil
+}
+
+// Stats counts what the injector actually did — chaos tests assert on these
+// so a mis-wired failpoint cannot silently pass as "survived".
+type Stats struct {
+	Requests int64 // transport round trips seen
+	Dropped  int64 // requests failed before send
+	Severed  int64 // response bodies cut short
+	Delayed  int64 // requests latency-injected
+	Unavail  int64 // synthetic 503s
+	Torn     int64 // ledger writes cut short
+	Storms   int64 // clock storms fired
+}
+
+// Injector injects the configured faults.  A nil *Injector injects nothing
+// and is safe to call, so callers thread it through without nil checks.
+type Injector struct {
+	cfg Config
+
+	transportMu  sync.Mutex
+	transportRNG *rand.Rand
+	ledgerMu     sync.Mutex
+	ledgerRNG    *rand.Rand
+
+	clockReads atomic.Int64
+	skewNS     atomic.Int64
+
+	requests, dropped, severed, delayed, unavail, torn, storms atomic.Int64
+}
+
+// New builds an injector.  Per-site generators are derived from the seed,
+// so transport faults and ledger tears draw independent, reproducible
+// schedules.
+func New(cfg Config) *Injector {
+	cfg = cfg.withDefaults()
+	return &Injector{
+		cfg:          cfg,
+		transportRNG: rand.New(rand.NewSource(cfg.Seed)),
+		ledgerRNG:    rand.New(rand.NewSource(cfg.Seed ^ 0x6c65646765725f5f)), // "ledger__"
+	}
+}
+
+// Stats snapshots the injection counters.
+func (in *Injector) Stats() Stats {
+	if in == nil {
+		return Stats{}
+	}
+	return Stats{
+		Requests: in.requests.Load(),
+		Dropped:  in.dropped.Load(),
+		Severed:  in.severed.Load(),
+		Delayed:  in.delayed.Load(),
+		Unavail:  in.unavail.Load(),
+		Torn:     in.torn.Load(),
+		Storms:   in.storms.Load(),
+	}
+}
+
+// transportDraw is one request's pre-drawn fate: drawing the full tuple per
+// request keeps the per-site draw count fixed regardless of which faults
+// fire, so one decision never shifts the schedule of later ones.
+type transportDraw struct {
+	drop, sever, delayP, unavail float64
+	delayFrac                    float64
+	severAt                      int
+}
+
+func (in *Injector) drawTransport() transportDraw {
+	in.transportMu.Lock()
+	defer in.transportMu.Unlock()
+	return transportDraw{
+		drop:      in.transportRNG.Float64(),
+		sever:     in.transportRNG.Float64(),
+		delayP:    in.transportRNG.Float64(),
+		unavail:   in.transportRNG.Float64(),
+		delayFrac: in.transportRNG.Float64(),
+		severAt:   in.transportRNG.Intn(256),
+	}
+}
+
+// Transport wraps base (nil means http.DefaultTransport) with the
+// configured request faults.
+func (in *Injector) Transport(base http.RoundTripper) http.RoundTripper {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	if in == nil {
+		return base
+	}
+	return &transport{in: in, base: base}
+}
+
+type transport struct {
+	in   *Injector
+	base http.RoundTripper
+}
+
+func (t *transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	in := t.in
+	in.requests.Add(1)
+	d := in.drawTransport()
+	if d.delayP < in.cfg.DelayP && in.cfg.Delay > 0 {
+		in.delayed.Add(1)
+		wait := time.Duration(d.delayFrac * float64(in.cfg.Delay))
+		select {
+		case <-time.After(wait):
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		}
+	}
+	if d.drop < in.cfg.Drop {
+		in.dropped.Add(1)
+		// Connection-refused shape: the request provably never went out, so
+		// even strict (not-sent-only) retry policies may retry it.
+		return nil, &net.OpError{Op: "dial", Net: "tcp", Err: fmt.Errorf("chaos: injected drop: %w", syscall.ECONNREFUSED)}
+	}
+	if d.unavail < in.cfg.Unavail {
+		in.unavail.Add(1)
+		return in.synthetic503(req), nil
+	}
+	resp, err := t.base.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	if d.sever < in.cfg.Sever {
+		in.severed.Add(1)
+		// The server processed the request; the client just never sees the
+		// full answer — the indeterminate case at-least-once paths must absorb.
+		resp.Body = &severedBody{rc: resp.Body, left: d.severAt}
+	}
+	return resp, nil
+}
+
+// synthetic503 is a coordinator-shaped overload response.
+func (in *Injector) synthetic503(req *http.Request) *http.Response {
+	h := make(http.Header)
+	h.Set("Content-Type", "text/plain; charset=utf-8")
+	if secs := int(in.cfg.RetryAfter / time.Second); secs >= 1 {
+		h.Set("Retry-After", strconv.Itoa(secs))
+	}
+	return &http.Response{
+		Status:     "503 Service Unavailable (chaos)",
+		StatusCode: http.StatusServiceUnavailable,
+		Proto:      "HTTP/1.1", ProtoMajor: 1, ProtoMinor: 1,
+		Header:        h,
+		Body:          io.NopCloser(strings.NewReader("chaos: injected unavailability\n")),
+		ContentLength: -1,
+		Request:       req,
+	}
+}
+
+// severedBody yields at most left bytes, then fails like a reset connection.
+type severedBody struct {
+	rc   io.ReadCloser
+	left int
+}
+
+func (s *severedBody) Read(p []byte) (int, error) {
+	if s.left <= 0 {
+		return 0, fmt.Errorf("chaos: response severed: %w", io.ErrUnexpectedEOF)
+	}
+	if len(p) > s.left {
+		p = p[:s.left]
+	}
+	n, err := s.rc.Read(p)
+	s.left -= n
+	if err == io.EOF {
+		return n, err // body ended inside the window: not severed after all
+	}
+	if err == nil && s.left <= 0 {
+		err = fmt.Errorf("chaos: response severed: %w", io.ErrUnexpectedEOF)
+	}
+	return n, err
+}
+
+func (s *severedBody) Close() error { return s.rc.Close() }
+
+// Clock returns a time source for the coordinator's lease bookkeeping:
+// real time until StormAfter reads, then permanently skewed forward by
+// StormSkew — at that instant every outstanding lease looks expired and the
+// requeue sweep storms.  Without a configured storm it is time.Now.
+func (in *Injector) Clock() func() time.Time {
+	if in == nil {
+		return time.Now
+	}
+	return func() time.Time {
+		if in.cfg.StormAfter > 0 && in.clockReads.Add(1) == int64(in.cfg.StormAfter) {
+			in.skewNS.Add(int64(in.cfg.StormSkew))
+			in.storms.Add(1)
+		}
+		return time.Now().Add(time.Duration(in.skewNS.Load()))
+	}
+}
+
+// TearWrite writes p to w, possibly cut short: a torn write models the
+// crash-mid-append tail a ledger loader must tolerate.  It reports how many
+// bytes reached w and ErrTorn when the write was cut.  With a nil injector
+// (or no tear probability) it is a plain w.Write.
+func (in *Injector) TearWrite(w io.Writer, p []byte) (int, error) {
+	if in == nil || in.cfg.Tear <= 0 {
+		return w.Write(p)
+	}
+	in.ledgerMu.Lock()
+	tear := in.ledgerRNG.Float64() < in.cfg.Tear
+	cut := 0
+	if tear && len(p) > 0 {
+		cut = in.ledgerRNG.Intn(len(p))
+	}
+	in.ledgerMu.Unlock()
+	if !tear {
+		return w.Write(p)
+	}
+	in.torn.Add(1)
+	n, err := w.Write(p[:cut])
+	if err != nil {
+		return n, err
+	}
+	return n, ErrTorn
+}

@@ -1,0 +1,213 @@
+package chaos
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/retry"
+)
+
+func TestParse(t *testing.T) {
+	cfg, err := Parse("seed=7,drop=0.1,sever=0.05,delay=20ms,delayp=0.2,unavail=0.02,retry-after=2s,tear=0.1,storm-after=200,storm-skew=2m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Config{
+		Seed: 7, Drop: 0.1, Sever: 0.05, Delay: 20 * time.Millisecond, DelayP: 0.2,
+		Unavail: 0.02, RetryAfter: 2 * time.Second, Tear: 0.1, StormAfter: 200, StormSkew: 2 * time.Minute,
+	}
+	if cfg != want {
+		t.Fatalf("Parse = %+v, want %+v", cfg, want)
+	}
+	if cfg, err := Parse("  "); err != nil || cfg != (Config{}) {
+		t.Fatalf("empty spec: %+v, %v", cfg, err)
+	}
+	for _, bad := range []string{"drop", "drop=2", "drop=-0.1", "frobnicate=1", "delay=fast", "seed=x"} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) accepted a malformed spec", bad)
+		}
+	}
+}
+
+// TestTransportDeterminism: the same seed produces the same per-request
+// fault schedule against the same request sequence.
+func TestTransportDeterminism(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = w.Write(bytes.Repeat([]byte("x"), 512))
+	}))
+	defer srv.Close()
+
+	run := func() []string {
+		in := New(Config{Seed: 42, Drop: 0.3, Sever: 0.3})
+		hc := &http.Client{Transport: in.Transport(nil)}
+		var fates []string
+		for i := 0; i < 40; i++ {
+			resp, err := hc.Get(srv.URL)
+			switch {
+			case err != nil:
+				fates = append(fates, "drop")
+			default:
+				_, rerr := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if rerr != nil {
+					fates = append(fates, "sever")
+				} else {
+					fates = append(fates, "ok")
+				}
+			}
+		}
+		return fates
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("request %d: fate %q vs %q under the same seed", i, a[i], b[i])
+		}
+	}
+	drops, severs := 0, 0
+	for _, f := range a {
+		switch f {
+		case "drop":
+			drops++
+		case "sever":
+			severs++
+		}
+	}
+	if drops == 0 || severs == 0 {
+		t.Fatalf("seed 42 injected %d drops, %d severs over 40 requests; schedule looks dead", drops, severs)
+	}
+}
+
+// TestTransportFaultShapes: each injected fault carries the error shape the
+// retry layer classifies as intended.
+func TestTransportFaultShapes(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = w.Write(bytes.Repeat([]byte("y"), 4096))
+	}))
+	defer srv.Close()
+
+	t.Run("drop is connection-refused shaped", func(t *testing.T) {
+		in := New(Config{Seed: 1, Drop: 1})
+		hc := &http.Client{Transport: in.Transport(nil)}
+		_, err := hc.Get(srv.URL)
+		if err == nil || !errors.Is(err, syscall.ECONNREFUSED) {
+			t.Fatalf("dropped request error = %v, want ECONNREFUSED in the chain", err)
+		}
+		if retry.ClassifyStrict(errors.Unwrap(err)) != retry.Transient {
+			// http.Client wraps in *url.Error; the underlying OpError must be
+			// strictly retryable (the request never went out).
+			t.Fatal("drop not strictly transient")
+		}
+	})
+	t.Run("sever truncates the body", func(t *testing.T) {
+		in := New(Config{Seed: 1, Sever: 1})
+		hc := &http.Client{Transport: in.Transport(nil)}
+		resp, err := hc.Get(srv.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		n, rerr := io.ReadAll(resp.Body)
+		if rerr == nil || !errors.Is(rerr, io.ErrUnexpectedEOF) {
+			t.Fatalf("severed body read %d bytes, err %v, want ErrUnexpectedEOF", len(n), rerr)
+		}
+		if retry.Classify(rerr) != retry.Transient {
+			t.Fatal("severed body not transient")
+		}
+	})
+	t.Run("unavail is a retryable 503 with a hint", func(t *testing.T) {
+		in := New(Config{Seed: 1, Unavail: 1, RetryAfter: 2 * time.Second})
+		hc := &http.Client{Transport: in.Transport(nil)}
+		resp, err := hc.Get(srv.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("status %d, want 503", resp.StatusCode)
+		}
+		if resp.Header.Get("Retry-After") != "2" {
+			t.Fatalf("Retry-After = %q, want \"2\"", resp.Header.Get("Retry-After"))
+		}
+		if retry.ClassifyHTTP(resp.StatusCode) != retry.Transient {
+			t.Fatal("503 not transient")
+		}
+	})
+	t.Run("stats count what fired", func(t *testing.T) {
+		in := New(Config{Seed: 1, Drop: 1})
+		hc := &http.Client{Transport: in.Transport(nil)}
+		for i := 0; i < 3; i++ {
+			_, _ = hc.Get(srv.URL)
+		}
+		st := in.Stats()
+		if st.Requests != 3 || st.Dropped != 3 {
+			t.Fatalf("stats %+v, want 3 requests all dropped", st)
+		}
+	})
+}
+
+// TestClockStorm: the clock reads real time until the configured read, then
+// jumps forward exactly once and stays skewed.
+func TestClockStorm(t *testing.T) {
+	in := New(Config{Seed: 1, StormAfter: 3, StormSkew: time.Hour})
+	clock := in.Clock()
+	base := time.Now()
+	for i := 0; i < 2; i++ {
+		if d := clock().Sub(base); d > time.Minute {
+			t.Fatalf("read %d skewed by %v before the storm", i, d)
+		}
+	}
+	if d := clock().Sub(base); d < 59*time.Minute {
+		t.Fatalf("storm read skewed only %v, want ~1h", d)
+	}
+	if d := clock().Sub(base); d < 59*time.Minute {
+		t.Fatalf("post-storm read lost the skew: %v", d)
+	}
+	if st := in.Stats(); st.Storms != 1 {
+		t.Fatalf("storms = %d, want exactly 1", st.Storms)
+	}
+	if nil2 := (*Injector)(nil); nil2.Clock()().IsZero() {
+		t.Fatal("nil injector clock returned the zero time")
+	}
+}
+
+// TestTearWrite: torn writes are strictly short, reported as ErrTorn, and
+// deterministic under a seed; a nil injector passes writes through.
+func TestTearWrite(t *testing.T) {
+	rec := []byte(`{"t":"unit","unit":3}` + "\n")
+	run := func() (string, int) {
+		in := New(Config{Seed: 9, Tear: 0.5})
+		var buf bytes.Buffer
+		torn := 0
+		for i := 0; i < 20; i++ {
+			n, err := in.TearWrite(&buf, rec)
+			if errors.Is(err, ErrTorn) {
+				torn++
+				if n >= len(rec) {
+					t.Fatalf("torn write delivered %d of %d bytes (not short)", n, len(rec))
+				}
+			} else if err != nil || n != len(rec) {
+				t.Fatalf("clean write: n=%d err=%v", n, err)
+			}
+		}
+		return buf.String(), torn
+	}
+	a, tornA := run()
+	b, tornB := run()
+	if a != b || tornA != tornB {
+		t.Fatal("tear schedule not deterministic under the same seed")
+	}
+	if tornA == 0 || tornA == 20 {
+		t.Fatalf("torn %d of 20 writes at p=0.5; schedule looks dead", tornA)
+	}
+	var buf bytes.Buffer
+	if n, err := (*Injector)(nil).TearWrite(&buf, rec); err != nil || n != len(rec) {
+		t.Fatalf("nil injector write: n=%d err=%v", n, err)
+	}
+}

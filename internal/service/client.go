@@ -8,89 +8,208 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"time"
+
+	"repro/internal/retry"
 )
 
 // ErrUnknownCircuit reports a hash-only submission whose circuit the
 // coordinator does not hold; the caller retries with the bench text.
 var ErrUnknownCircuit = errors.New("service: circuit not cached on coordinator")
 
-// APIError is a non-2xx coordinator response.
+// Per-endpoint attempt deadlines.  Every request context is additionally
+// bounded by the caller's own deadline (context.WithTimeout keeps the
+// earlier of the two), so these only cap how long one attempt may hang on
+// a dead wire — the old single 60s http.Client.Timeout also capped the
+// long-polls regardless of the caller's intent, which is exactly the bug
+// these replace.
+const (
+	// opTimeout bounds one attempt of a short control-plane call
+	// (status, cancel, lease, spec, patterns, posting results).
+	opTimeout = 15 * time.Second
+	// submitTimeout bounds one submit attempt, which may carry the full
+	// bench text and pay for parse + levelization on the coordinator.
+	submitTimeout = 60 * time.Second
+	// fetchTimeout bounds one bulk download attempt (results, bench text).
+	fetchTimeout = 60 * time.Second
+	// eventsMargin rides on top of the server's long-poll wait window: the
+	// attempt deadline is the requested wait plus this slack, so a long
+	// poll is never cut short by the client while the server still holds it.
+	eventsMargin = 15 * time.Second
+)
+
+// APIError is a non-2xx coordinator response.  It exposes its status code
+// (and any Retry-After hint) through the interfaces internal/retry
+// classifies on: 5xx and 429 retry, other 4xx fail fast.
 type APIError struct {
 	Status  int
 	Code    string
 	Message string
+	// RetryAfter is the parsed Retry-After header, 0 when absent.
+	RetryAfter time.Duration
 }
 
 func (e *APIError) Error() string {
 	return fmt.Sprintf("service: %s (%d %s)", e.Message, e.Status, e.Code)
 }
 
+// HTTPStatus implements retry.HTTPStatus.
+func (e *APIError) HTTPStatus() int { return e.Status }
+
+// RetryAfterHint implements retry.RetryAfterHint.
+func (e *APIError) RetryAfterHint() time.Duration { return e.RetryAfter }
+
 // Client talks to a coordinator.  It is used both by end clients (submit,
 // wait, fetch results) and by workers (lease, post results); all methods are
 // safe for concurrent use.
+//
+// Every call runs under a per-endpoint retry policy: idempotent reads and
+// the at-least-once-safe writes (lease — a lost lease simply expires;
+// result posts — the coordinator's first-completion-wins dedup absorbs the
+// duplicate) retry any transient failure, while job submission only retries
+// when the request provably never reached the coordinator, so a blip cannot
+// double-submit a job.
 type Client struct {
 	base string
 	hc   *http.Client
+
+	// wide retries transient faults broadly; strict only provably-unsent
+	// requests.  Tests tighten these through WithRetryPolicy.
+	wide   retry.Policy
+	strict retry.Policy
+}
+
+// ClientOption tunes a Client at construction.
+type ClientOption func(*Client)
+
+// WithTransport replaces the HTTP transport — the chaos injector's
+// fault-wrapped transport enters here.
+func WithTransport(rt http.RoundTripper) ClientOption {
+	return func(cl *Client) { cl.hc.Transport = rt }
+}
+
+// WithRetryPolicy overrides the transient-retry policy of every endpoint
+// (submission keeps its strict not-sent-only classification but adopts the
+// delays and budget).  Tests use it to pin seeds and shrink delays.
+func WithRetryPolicy(p retry.Policy) ClientOption {
+	return func(cl *Client) {
+		cl.wide = p
+		cl.strict = p
+		cl.strict.Classify = retry.ClassifyStrict
+	}
 }
 
 // NewClient builds a client for the coordinator at base (e.g.
 // "http://127.0.0.1:9090").
-func NewClient(base string) *Client {
-	return &Client{base: base, hc: &http.Client{Timeout: 60 * time.Second}}
+func NewClient(base string, opts ...ClientOption) *Client {
+	cl := &Client{
+		base: base,
+		// No global http.Client.Timeout: attempts are bounded per endpoint,
+		// long-polls by their own window (see the timeout constants).
+		hc:     &http.Client{},
+		wide:   retry.Policy{Initial: 100 * time.Millisecond, Max: 2 * time.Second, Attempts: 4},
+		strict: retry.Policy{Initial: 100 * time.Millisecond, Max: 2 * time.Second, Attempts: 4, Classify: retry.ClassifyStrict},
+	}
+	for _, opt := range opts {
+		opt(cl)
+	}
+	return cl
 }
 
-// do performs one JSON round trip.  A nil in skips the request body, a nil
-// out discards the response body.  Returns the HTTP status code; non-2xx
-// responses come back as *APIError.
-func (cl *Client) do(ctx context.Context, method, path string, in, out any) (int, error) {
-	var body io.Reader
+// call performs one JSON exchange under the retry policy, bounding each
+// attempt by timeout (0 = the caller's context alone).  Returns the HTTP
+// status of the last attempt; non-2xx responses come back as *APIError.
+func (cl *Client) call(ctx context.Context, p retry.Policy, timeout time.Duration, method, path string, in, out any) (int, error) {
+	var body []byte
 	if in != nil {
 		b, err := json.Marshal(in)
 		if err != nil {
 			return 0, err
 		}
-		body = bytes.NewReader(b)
+		body = b
 	}
-	req, err := http.NewRequestWithContext(ctx, method, cl.base+API+path, body)
+	var code int
+	err := retry.Do(ctx, p, func(ctx context.Context) error {
+		if timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, timeout)
+			defer cancel()
+		}
+		var err error
+		code, err = cl.doOnce(ctx, method, path, body, out)
+		return err
+	})
+	return code, err
+}
+
+// doOnce is one attempt: the full response body is read before decoding, so
+// a severed body surfaces as a transient read error rather than a partially
+// filled out value.
+func (cl *Client) doOnce(ctx context.Context, method, path string, body []byte, out any) (int, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, cl.base+API+path, rd)
 	if err != nil {
 		return 0, err
 	}
-	if in != nil {
+	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	resp, err := cl.hc.Do(req)
 	if err != nil {
 		return 0, err
 	}
-	defer func() {
-		_, _ = io.Copy(io.Discard, resp.Body)
-		_ = resp.Body.Close()
-	}()
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return resp.StatusCode, fmt.Errorf("service: reading %s %s response: %w", method, path, err)
+	}
 	if resp.StatusCode >= 400 {
-		apiErr := &APIError{Status: resp.StatusCode, Code: "error", Message: resp.Status}
+		apiErr := &APIError{
+			Status:     resp.StatusCode,
+			Code:       "error",
+			Message:    resp.Status,
+			RetryAfter: parseRetryAfter(resp.Header.Get("Retry-After")),
+		}
 		var body ErrorResponse
-		if json.NewDecoder(resp.Body).Decode(&body) == nil && body.Code != "" {
+		if json.Unmarshal(raw, &body) == nil && body.Code != "" {
 			apiErr.Code, apiErr.Message = body.Code, body.Error
 		}
 		if apiErr.Code == "unknown-circuit" {
-			return resp.StatusCode, fmt.Errorf("%w (%s)", ErrUnknownCircuit, apiErr.Message)
+			// Keep the APIError in the chain so retry classification still
+			// sees the 409 while callers match ErrUnknownCircuit.
+			return resp.StatusCode, fmt.Errorf("%w: %w", ErrUnknownCircuit, apiErr)
 		}
 		return resp.StatusCode, apiErr
 	}
 	if out != nil && resp.StatusCode != http.StatusNoContent {
-		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		if err := json.Unmarshal(raw, out); err != nil {
 			return resp.StatusCode, fmt.Errorf("service: decoding %s %s response: %w", method, path, err)
 		}
 	}
 	return resp.StatusCode, nil
 }
 
+// parseRetryAfter reads the delay-seconds form of a Retry-After header.
+func parseRetryAfter(h string) time.Duration {
+	if h == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(h); err == nil && secs >= 0 {
+		return time.Duration(secs) * time.Second
+	}
+	return 0
+}
+
 // Submit creates a job from an explicit request.  A hash-only request whose
 // circuit the coordinator does not hold fails with ErrUnknownCircuit.
+// Submission is not idempotent, so only provably-unsent requests retry.
 func (cl *Client) Submit(ctx context.Context, req SubmitRequest) (SubmitResponse, error) {
 	var resp SubmitResponse
-	_, err := cl.do(ctx, http.MethodPost, "/jobs", req, &resp)
+	_, err := cl.call(ctx, cl.strict, submitTimeout, http.MethodPost, "/jobs", req, &resp)
 	return resp, err
 }
 
@@ -110,44 +229,61 @@ func (cl *Client) SubmitBench(ctx context.Context, name, bench string, opts JobO
 // Status fetches a job's lifecycle state and dispatch counters.
 func (cl *Client) Status(ctx context.Context, jobID string) (JobStatus, error) {
 	var st JobStatus
-	_, err := cl.do(ctx, http.MethodGet, "/jobs/"+jobID, nil, &st)
+	_, err := cl.call(ctx, cl.wide, opTimeout, http.MethodGet, "/jobs/"+jobID, nil, &st)
 	return st, err
 }
 
 // Events long-polls the job's settle-event stream from the given cursor.
+// The attempt deadline tracks the requested wait window, so the caller's
+// context — not a fixed client timeout — decides how long to keep polling.
 func (cl *Client) Events(ctx context.Context, jobID string, from, waitMS int) (EventsResponse, error) {
 	var resp EventsResponse
 	path := fmt.Sprintf("/jobs/%s/events?from=%d&wait_ms=%d", jobID, from, waitMS)
-	_, err := cl.do(ctx, http.MethodGet, path, nil, &resp)
+	timeout := time.Duration(waitMS)*time.Millisecond + eventsMargin
+	_, err := cl.call(ctx, cl.wide, timeout, http.MethodGet, path, nil, &resp)
 	return resp, err
 }
 
-// Results fetches a finished job's full outcome.
+// Results fetches a finished job's full outcome.  Because the coordinator
+// and its ledger keep finished results, a re-fetch after a connection blip
+// returns the identical payload.
 func (cl *Client) Results(ctx context.Context, jobID string) (ResultsResponse, error) {
 	var resp ResultsResponse
-	_, err := cl.do(ctx, http.MethodGet, "/jobs/"+jobID+"/results", nil, &resp)
+	_, err := cl.call(ctx, cl.wide, fetchTimeout, http.MethodGet, "/jobs/"+jobID+"/results", nil, &resp)
 	return resp, err
 }
 
-// Cancel cancels a job and returns its status.
+// Cancel cancels a job and returns its status.  Cancellation is idempotent
+// on the coordinator, so transient failures retry.
 func (cl *Client) Cancel(ctx context.Context, jobID string) (JobStatus, error) {
 	var st JobStatus
-	_, err := cl.do(ctx, http.MethodDelete, "/jobs/"+jobID, nil, &st)
+	_, err := cl.call(ctx, cl.wide, opTimeout, http.MethodDelete, "/jobs/"+jobID, nil, &st)
 	return st, err
 }
 
-// Wait polls until the job reaches a terminal state.
+// Wait polls until the job reaches a terminal state.  Transient poll
+// failures — a restarting coordinator, a severed connection — back off with
+// jitter and resume; only a terminal error (the job is unknown, the caller's
+// context ended) surfaces.  The context owns the overall deadline.
 func (cl *Client) Wait(ctx context.Context, jobID string, poll time.Duration) (JobStatus, error) {
 	if poll <= 0 {
 		poll = 200 * time.Millisecond
 	}
-	t := time.NewTicker(poll)
-	defer t.Stop()
+	reconnect := cl.wide
+	reconnect.Attempts = -1 // the context, not an attempt budget, ends the wait
+	bo := reconnect.Backoff()
 	for {
 		st, err := cl.Status(ctx, jobID)
 		if err != nil {
-			return st, err
+			if ctx.Err() != nil || retry.Classify(err) == retry.Terminal {
+				return st, err
+			}
+			if !bo.Sleep(ctx, err) {
+				return st, err
+			}
+			continue
 		}
+		bo.Reset()
 		switch st.State {
 		case stateDone, stateCanceled, stateFailed:
 			return st, nil
@@ -155,7 +291,7 @@ func (cl *Client) Wait(ctx context.Context, jobID string, poll time.Duration) (J
 		select {
 		case <-ctx.Done():
 			return st, ctx.Err()
-		case <-t.C:
+		case <-time.After(poll):
 		}
 	}
 }
@@ -163,36 +299,45 @@ func (cl *Client) Wait(ctx context.Context, jobID string, poll time.Duration) (J
 // Spec fetches what a worker needs to build a job-local generator.
 func (cl *Client) Spec(ctx context.Context, jobID string) (JobSpec, error) {
 	var spec JobSpec
-	_, err := cl.do(ctx, http.MethodGet, "/jobs/"+jobID+"/spec", nil, &spec)
+	_, err := cl.call(ctx, cl.wide, opTimeout, http.MethodGet, "/jobs/"+jobID+"/spec", nil, &spec)
 	return spec, err
 }
 
 // CircuitBench fetches the .bench text of a cached circuit.
 func (cl *Client) CircuitBench(ctx context.Context, hash string) (string, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, cl.base+API+"/circuits/"+hash, nil)
-	if err != nil {
-		return "", err
-	}
-	resp, err := cl.hc.Do(req)
-	if err != nil {
-		return "", err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return "", &APIError{Status: resp.StatusCode, Code: "unknown-circuit", Message: "circuit not cached"}
-	}
-	b, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return "", err
-	}
-	return string(b), nil
+	var text string
+	err := retry.Do(ctx, cl.wide, func(ctx context.Context) error {
+		ctx, cancel := context.WithTimeout(ctx, fetchTimeout)
+		defer cancel()
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, cl.base+API+"/circuits/"+hash, nil)
+		if err != nil {
+			return err
+		}
+		resp, err := cl.hc.Do(req)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			_, _ = io.Copy(io.Discard, resp.Body)
+			return &APIError{Status: resp.StatusCode, Code: "unknown-circuit", Message: "circuit not cached"}
+		}
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return err
+		}
+		text = string(b)
+		return nil
+	})
+	return text, err
 }
 
 // Lease asks the coordinator for up to maxUnits work units.  ok is false
-// when nothing is leasable right now (HTTP 204).
+// when nothing is leasable right now (HTTP 204).  Retrying a lost lease is
+// safe: if the grant never arrived, its TTL expires and the units requeue.
 func (cl *Client) Lease(ctx context.Context, worker string, maxUnits int) (LeaseResponse, bool, error) {
 	var resp LeaseResponse
-	code, err := cl.do(ctx, http.MethodPost, "/lease", LeaseRequest{Worker: worker, MaxUnits: maxUnits}, &resp)
+	code, err := cl.call(ctx, cl.wide, opTimeout, http.MethodPost, "/lease", LeaseRequest{Worker: worker, MaxUnits: maxUnits}, &resp)
 	if err != nil {
 		return resp, false, err
 	}
@@ -203,13 +348,15 @@ func (cl *Client) Lease(ctx context.Context, worker string, maxUnits int) (Lease
 func (cl *Client) Patterns(ctx context.Context, jobID string, from int) (PatternsResponse, error) {
 	var resp PatternsResponse
 	path := fmt.Sprintf("/jobs/%s/patterns?from=%d", jobID, from)
-	_, err := cl.do(ctx, http.MethodGet, path, nil, &resp)
+	_, err := cl.call(ctx, cl.wide, opTimeout, http.MethodGet, path, nil, &resp)
 	return resp, err
 }
 
-// PostUnitResults reports a batch of processed units.
+// PostUnitResults reports a batch of processed units.  Retrying a post whose
+// response was lost is safe: the coordinator's first-completion-wins dedup
+// flags the duplicate and applies nothing twice.
 func (cl *Client) PostUnitResults(ctx context.Context, jobID string, post PostResults) (PostResultsResponse, error) {
 	var resp PostResultsResponse
-	_, err := cl.do(ctx, http.MethodPost, "/jobs/"+jobID+"/results", post, &resp)
+	_, err := cl.call(ctx, cl.wide, opTimeout, http.MethodPost, "/jobs/"+jobID+"/results", post, &resp)
 	return resp, err
 }

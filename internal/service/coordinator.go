@@ -7,11 +7,13 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"sync"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/circuit"
 	"repro/internal/core"
 	"repro/internal/paths"
@@ -60,6 +62,18 @@ type Config struct {
 	// LedgerDir, when set, persists a JSONL unit ledger per job and resumes
 	// incomplete jobs on startup.
 	LedgerDir string
+	// CompactWatermark triggers a snapshot-and-truncate of a job's ledger
+	// once its journal crosses this many bytes (ledgers are also compacted
+	// on resume).  0 selects the 16MB default; negative disables live
+	// compaction.
+	CompactWatermark int64
+	// Clock overrides the lease clock (leases, expiry sweeps).  nil means
+	// time.Now; the chaos injector's skewed clock enters here.
+	Clock func() time.Time
+	// Chaos, when set, injects the configured coordinator-side faults:
+	// torn ledger appends, and (unless Clock is set explicitly) the
+	// lease-clock expiry storm.
+	Chaos *chaos.Injector
 }
 
 func (cfg Config) withDefaults() Config {
@@ -80,6 +94,12 @@ func (cfg Config) withDefaults() Config {
 	}
 	if cfg.UnitsPerLease <= 0 {
 		cfg.UnitsPerLease = 4
+	}
+	if cfg.CompactWatermark == 0 {
+		cfg.CompactWatermark = 16 << 20
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = cfg.Chaos.Clock() // nil injector yields time.Now
 	}
 	return cfg
 }
@@ -228,6 +248,9 @@ func (co *Coordinator) Close() {
 // the service cache benchmark).
 func (co *Coordinator) Cache() *Cache { return co.cache }
 
+// now reads the lease clock (time.Now unless injected).
+func (co *Coordinator) now() time.Time { return co.cfg.Clock() }
+
 func (co *Coordinator) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	co.mux.ServeHTTP(w, r)
 }
@@ -370,8 +393,8 @@ func (co *Coordinator) runPass(j *job, units []sched.Unit, spec core.PassSpec) {
 		defer t.Stop()
 		for {
 			select {
-			case now := <-t.C:
-				q.Expire(now)
+			case <-t.C:
+				q.Expire(co.now())
 			case <-tctx.Done():
 				return
 			}
@@ -485,6 +508,14 @@ func (j *job) settled() int {
 // ---- resume ----
 
 func (co *Coordinator) resume() error {
+	// Compact every journal before replaying: terminal jobs shrink to
+	// stubs, incomplete ones lose duplicate completions and torn tails.
+	// Best-effort — a journal that cannot be compacted is still replayable.
+	if paths, err := filepath.Glob(filepath.Join(co.cfg.LedgerDir, "*.jsonl")); err == nil {
+		for _, p := range paths {
+			_, _, _ = CompactLedgerFile(p)
+		}
+	}
 	ledgers, err := LoadLedgers(co.cfg.LedgerDir)
 	if err != nil {
 		return err
@@ -537,6 +568,7 @@ func (co *Coordinator) resumeJob(lj *LedgerJob) error {
 	if err != nil {
 		return err
 	}
+	led.SetChaos(co.cfg.Chaos)
 	co.addJob(&job{
 		id:         lj.ID,
 		name:       lj.Name,
@@ -609,6 +641,7 @@ func (co *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			writeErr(w, http.StatusInternalServerError, "ledger", err.Error())
 			return
 		}
+		led.SetChaos(co.cfg.Chaos)
 		bench, _ := co.cache.Bench(hash)
 		led.RecordJob(id, req.Name, hash, bench, req.Options, req.Faults)
 	}
@@ -795,7 +828,7 @@ func (co *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 			j.mu.Unlock()
 			continue
 		}
-		leased := j.pass.q.Lease(req.Worker, max, co.cfg.LeaseTTL, time.Now())
+		leased := j.pass.q.Lease(req.Worker, max, co.cfg.LeaseTTL, co.now())
 		if len(leased) == 0 {
 			j.mu.Unlock()
 			continue
@@ -876,6 +909,11 @@ func (co *Coordinator) handlePostResults(w http.ResponseWriter, r *http.Request)
 		ufaults := ps.units[ur.ID].Faults
 		j.rr.Apply(ufaults, decoded[i])
 		j.ledger.RecordUnit(ps.seq, ur.ID, req.Worker, ufaults, ur.Outcomes)
+	}
+	// Snapshot-and-truncate a journal that outgrew the watermark; holding
+	// j.mu here keeps the snapshot consistent with the applied state.
+	if wm := co.cfg.CompactWatermark; wm > 0 && j.ledger.Size() >= wm {
+		_, _, _ = j.ledger.Compact()
 	}
 	j.mu.Unlock()
 	writeJSON(w, http.StatusOK, PostResultsResponse{})

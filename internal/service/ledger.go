@@ -2,6 +2,7 @@ package service
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -9,6 +10,8 @@ import (
 	"sort"
 	"strings"
 	"sync"
+
+	"repro/internal/chaos"
 )
 
 // The ledger makes jobs resumable across coordinator restarts: one JSONL
@@ -22,10 +25,20 @@ import (
 // deterministic function of the (replayed) outcomes, and applying a
 // recorded outcome is exactly what applying the live report was.
 //
-// Records are appended, never rewritten; a torn final line (crash mid-write)
-// is ignored on load.  Worker effort deltas are not ledgered — they are
-// informational, and the search effort of pre-crash units is simply absent
-// from a resumed job's statistics.
+// Records are appended, never rewritten in place; a torn final line (crash
+// mid-write) is ignored on load, and reopening a file with a torn tail
+// writes a newline first so the next record cannot concatenate onto the
+// debris.  Worker effort deltas are not ledgered — they are informational,
+// and the search effort of pre-crash units is simply absent from a resumed
+// job's statistics.
+//
+// Because the journal is append-only it would grow without bound on a
+// long-lived coordinator; Compact (run on resume and when a job's journal
+// crosses the coordinator's size watermark) snapshots the replayable
+// content and truncates the file to exactly that: terminal jobs shrink to
+// a two-line stub, live jobs keep one record per pass and one per distinct
+// completed unit (first completion wins, mirroring replay), with the
+// redundant per-unit fault lists dropped — the pass cut already holds them.
 
 // ledgerRecord is one JSONL line; T selects which fields are meaningful.
 type ledgerRecord struct {
@@ -58,20 +71,69 @@ type ledgerRecord struct {
 // Ledger appends the records of one job.  All methods are safe for
 // concurrent use and a nil *Ledger is a valid no-op (persistence disabled).
 type Ledger struct {
-	mu sync.Mutex
-	f  *os.File
+	mu    sync.Mutex
+	f     *os.File
+	path  string
+	size  int64
+	torn  bool // last line on disk lacks its newline; resync before appending
+	chaos *chaos.Injector
 }
 
-// OpenLedger opens (creating or appending) the ledger file of a job.
+// OpenLedger opens (creating or appending) the ledger file of a job.  A
+// pre-existing torn tail (crash mid-append) is detected here so the first
+// new record starts on a fresh line instead of merging with the debris.
 func OpenLedger(dir, jobID string) (*Ledger, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	f, err := os.OpenFile(filepath.Join(dir, jobID+".jsonl"), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	path := filepath.Join(dir, jobID+".jsonl")
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, err
 	}
-	return &Ledger{f: f}, nil
+	l := &Ledger{f: f, path: path}
+	if fi, err := f.Stat(); err == nil {
+		l.size = fi.Size()
+	}
+	l.torn = hasTornTail(path, l.size)
+	return l, nil
+}
+
+// hasTornTail reports whether the file's final byte is not a newline.
+func hasTornTail(path string, size int64) bool {
+	if size == 0 {
+		return false
+	}
+	rf, err := os.Open(path)
+	if err != nil {
+		return false
+	}
+	defer rf.Close()
+	var last [1]byte
+	if _, err := rf.ReadAt(last[:], size-1); err != nil {
+		return false
+	}
+	return last[0] != '\n'
+}
+
+// SetChaos routes every append through the injector's torn-write failpoint.
+func (l *Ledger) SetChaos(in *chaos.Injector) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.chaos = in
+	l.mu.Unlock()
+}
+
+// Size returns the journal's current size in bytes.
+func (l *Ledger) Size() int64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.size
 }
 
 func (l *Ledger) append(rec ledgerRecord) {
@@ -80,12 +142,30 @@ func (l *Ledger) append(rec ledgerRecord) {
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if l.f == nil {
+		return
+	}
 	b, err := json.Marshal(rec)
 	if err != nil {
 		return
 	}
 	b = append(b, '\n')
-	_, _ = l.f.Write(b)
+	if l.torn {
+		// Seal the torn line so this record starts fresh; the loader skips
+		// the unparseable debris line.
+		if _, err := l.f.Write([]byte{'\n'}); err != nil {
+			return
+		}
+		l.size++
+		l.torn = false
+	}
+	n, err := l.chaos.TearWrite(l.f, b)
+	l.size += int64(n)
+	if err != nil || n < len(b) {
+		// Torn (injected or real): whatever landed lacks its newline.  A
+		// write that delivered nothing left the file clean.
+		l.torn = n > 0 && b[n-1] != '\n'
+	}
 }
 
 // RecordJob records the job itself: everything a restarted coordinator needs
@@ -109,6 +189,115 @@ func (l *Ledger) RecordState(state string) {
 	l.append(ledgerRecord{T: "state", State: state})
 }
 
+// Compact snapshots the journal's replayable content and truncates the file
+// to it (atomically, via rename), then keeps appending to the compacted
+// file.  Replay accounting is preserved exactly: the snapshot keeps one
+// record per distinct completed unit, which is precisely the set replay
+// would apply.  Returns the sizes before and after.
+func (l *Ledger) Compact() (before, after int64, err error) {
+	if l == nil {
+		return 0, 0, nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	before = l.size
+	after, err = compactLedgerFile(l.path, before)
+	if err != nil || after == before {
+		return before, before, err
+	}
+	// Swap the append handle onto the compacted file: the old handle points
+	// at the unlinked inode after the rename.
+	if l.f != nil {
+		_ = l.f.Close()
+	}
+	f, err := os.OpenFile(l.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		l.f = nil // appends become no-ops; the on-disk snapshot stays valid
+		return before, after, err
+	}
+	l.f = f
+	l.size = after
+	l.torn = false
+	return before, after, nil
+}
+
+// CompactLedgerFile compacts one job's ledger file in place (see
+// Ledger.Compact); the coordinator runs it over every ledger on resume.
+// Files that would not shrink are left untouched.
+func CompactLedgerFile(path string) (before, after int64, err error) {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return 0, 0, err
+	}
+	before = fi.Size()
+	after, err = compactLedgerFile(path, before)
+	return before, after, err
+}
+
+// compactLedgerFile rewrites path to its compact snapshot when that is
+// smaller, returning the resulting size (== before when skipped).
+func compactLedgerFile(path string, before int64) (int64, error) {
+	lj, err := loadLedgerFile(path)
+	if err != nil {
+		return before, err
+	}
+	if lj == nil {
+		return before, nil // no job record: nothing safe to rewrite
+	}
+	snap := renderCompact(lj)
+	if int64(len(snap)) >= before {
+		return before, nil
+	}
+	tmp := path + ".compact"
+	if err := os.WriteFile(tmp, snap, 0o644); err != nil {
+		return before, err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		_ = os.Remove(tmp)
+		return before, err
+	}
+	return int64(len(snap)), nil
+}
+
+// renderCompact serializes the snapshot form of a loaded ledger: terminal
+// jobs keep only an identity stub and their state (enough for ID allocation
+// and the resume skip); live jobs keep the full job record, each pass cut,
+// and the first completion of each unit with the redundant per-unit fault
+// list dropped — replay reads fault indices from the pass cut.
+func renderCompact(lj *LedgerJob) []byte {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	if lj.State != "" {
+		_ = enc.Encode(ledgerRecord{T: "job", ID: lj.ID, Name: lj.Name})
+		_ = enc.Encode(ledgerRecord{T: "state", State: lj.State})
+		return buf.Bytes()
+	}
+	opts := lj.Options
+	_ = enc.Encode(ledgerRecord{
+		T: "job", ID: lj.ID, Name: lj.Name, Hash: lj.Hash, Bench: lj.Bench,
+		Options: &opts, Faults: lj.Faults,
+	})
+	seqs := make([]int, 0, len(lj.Passes))
+	for seq := range lj.Passes {
+		seqs = append(seqs, seq)
+	}
+	sort.Ints(seqs)
+	for _, seq := range seqs {
+		lp := lj.Passes[seq]
+		spec := lp.Spec
+		_ = enc.Encode(ledgerRecord{T: "pass", Seq: seq, Spec: &spec, Units: lp.Units})
+		done := make(map[int]bool)
+		for _, lu := range lj.Units[seq] {
+			if done[lu.Unit] {
+				continue // duplicate completion: replay's first-wins drops it too
+			}
+			done[lu.Unit] = true
+			_ = enc.Encode(ledgerRecord{T: "unit", Pass: seq, Unit: lu.Unit, Worker: lu.Worker, Outcomes: lu.Outcomes})
+		}
+	}
+	return buf.Bytes()
+}
+
 // Close closes the underlying file.
 func (l *Ledger) Close() {
 	if l == nil {
@@ -116,7 +305,10 @@ func (l *Ledger) Close() {
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	_ = l.f.Close()
+	if l.f != nil {
+		_ = l.f.Close()
+		l.f = nil
+	}
 }
 
 // LedgerJob is the replayable content of one job's ledger.
@@ -142,7 +334,9 @@ type LedgerPass struct {
 	Units [][]int
 }
 
-// LedgerUnit is a recorded unit completion.
+// LedgerUnit is a recorded unit completion.  Faults is informational and
+// absent from compacted ledgers — replay takes the fault indices from the
+// pass cut, never from here.
 type LedgerUnit struct {
 	Unit     int
 	Worker   string

@@ -1,0 +1,520 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/paths"
+)
+
+// TestServiceChaosEndToEnd is the harness proving the resilience layer's
+// central claim: a distributed run under injected faults — dropped requests,
+// severed responses, synthetic 503s, added latency on every worker, plus a
+// lease-expiry storm and torn ledger appends on the coordinator, with live
+// ledger compaction after every post — still produces statuses, pattern
+// indices and a merged test set byte-identical to an undisturbed
+// single-process run.  The injector counters are asserted so a mis-wired
+// failpoint cannot pass as "survived".
+func TestServiceChaosEndToEnd(t *testing.T) {
+	c, text := benchText(t, "c432")
+	faults := paths.SampleFaults(c, 48, 1995)
+	opts := JobOptions{Schedule: "steal", Escalate: 8, SimInterval: intp(0), Compact: "reverse"}
+	localResults, localTests, _ := localRun(t, c, opts, faults)
+
+	coChaos := chaos.New(chaos.Config{Seed: 11, StormAfter: 5, StormSkew: time.Minute, Tear: 0.25})
+	co, err := NewCoordinator(Config{
+		LeaseTTL:         2 * time.Second,
+		LedgerDir:        t.TempDir(),
+		CompactWatermark: 1, // compact after every post: live compaction under load
+		Chaos:            coChaos,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer co.Close()
+	srv := httptest.NewServer(co)
+	defer srv.Close()
+
+	wkChaos := chaos.New(chaos.Config{
+		Seed: 7, Drop: 0.15, Sever: 0.1, Unavail: 0.05,
+		DelayP: 0.2, Delay: 5 * time.Millisecond,
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	workers := make([]*Worker, 2)
+	for i := range workers {
+		wk := NewWorker(WorkerConfig{
+			Coordinator: srv.URL,
+			ID:          "w" + string(rune('1'+i)),
+			Poll:        10 * time.Millisecond,
+			JobPoll:     50 * time.Millisecond,
+			Transport:   wkChaos.Transport(nil),
+		})
+		workers[i] = wk
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = wk.Run(ctx)
+		}()
+	}
+	defer func() {
+		cancel()
+		wg.Wait()
+	}()
+
+	cl := NewClient(srv.URL)
+	sub, err := cl.SubmitBench(context.Background(), "c432", text, opts, EncodeFaults(c, faults))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := cl.Wait(context.Background(), sub.JobID, 20*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != stateDone {
+		t.Fatalf("chaotic job finished in state %q", st.State)
+	}
+
+	resp, err := cl.Results(context.Background(), sub.JobID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) != len(localResults) {
+		t.Fatalf("got %d results under chaos, want %d", len(resp.Results), len(localResults))
+	}
+	for i, r := range resp.Results {
+		if want := localResults[i].Status.String(); r.Status != want {
+			t.Fatalf("fault %d (%s): status %s under chaos, local %s", i, r.Describe, r.Status, want)
+		}
+		if r.PatternIndex != localResults[i].PatternIndex {
+			t.Fatalf("fault %d: pattern index %d under chaos, local %d",
+				i, r.PatternIndex, localResults[i].PatternIndex)
+		}
+	}
+	if resp.Tests != localTests {
+		t.Fatal("merged test set under chaos differs from the undisturbed local run")
+	}
+
+	// The faults must actually have fired, and the workers must have worked.
+	ws := wkChaos.Stats()
+	if ws.Dropped == 0 || ws.Severed == 0 {
+		t.Errorf("injector idle: %+v (dropped and severed must both fire)", ws)
+	}
+	if cs := coChaos.Stats(); cs.Storms != 1 {
+		t.Errorf("lease-expiry storm fired %d times, want exactly 1", cs.Storms)
+	}
+	var leases, units int64
+	for _, wk := range workers {
+		cnt := wk.Counters()
+		leases += cnt.Leases
+		units += cnt.Units
+	}
+	if leases == 0 || units < int64(len(faults)) {
+		t.Errorf("workers leased %d batches / processed %d units, want >0 and >=%d", leases, units, len(faults))
+	}
+}
+
+// TestServiceLedgerCompactionResume interrupts a job, compacts its journal
+// (with a duplicated completion line planted to prove first-wins dedup), and
+// resumes on the compacted file: exactly the recorded units replay — none
+// re-dispatched, none dropped, none doubled — and the finished job matches
+// the uninterrupted run bit for bit.
+func TestServiceLedgerCompactionResume(t *testing.T) {
+	dir := t.TempDir()
+	c, text := benchText(t, "c432")
+	faults := paths.SampleFaults(c, 48, 1995)
+	opts := JobOptions{SimInterval: intp(0), Escalate: 8, Compact: "reverse"}
+	localResults, localTests, _ := localRun(t, c, opts, faults)
+	ctx := context.Background()
+
+	coA, err := NewCoordinator(Config{LedgerDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srvA := httptest.NewServer(coA)
+	clA := NewClient(srvA.URL)
+	sub, err := clA.SubmitBench(ctx, "c432", text, opts, EncodeFaults(c, faults))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const preCrash = 12
+	driveWorker(t, clA, "wA", sub.JobID, c, preCrash)
+	srvA.Close()
+	coA.Close()
+
+	// Duplicate a completed unit's line, as a worker retrying a severed POST
+	// would: compaction must keep only the first completion.
+	path := filepath.Join(dir, sub.JobID+".jsonl")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dupLine string
+	for _, line := range strings.Split(string(raw), "\n") {
+		if strings.HasPrefix(line, `{"t":"unit"`) {
+			dupLine = line
+			break
+		}
+	}
+	if dupLine == "" {
+		t.Fatal("no unit record in the ledger after 12 completions")
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(dupLine + "\n"); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	before, after, err := CompactLedgerFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after >= before {
+		t.Fatalf("compaction did not shrink the journal: %d -> %d bytes", before, after)
+	}
+	lj, err := loadLedgerFile(path)
+	if err != nil || lj == nil {
+		t.Fatalf("compacted ledger unreadable: %v", err)
+	}
+	for seq, units := range lj.Units {
+		seen := make(map[int]bool)
+		for _, u := range units {
+			if seen[u.Unit] {
+				t.Fatalf("pass %d unit %d recorded twice after compaction", seq, u.Unit)
+			}
+			seen[u.Unit] = true
+			if u.Faults != nil {
+				t.Fatalf("pass %d unit %d kept its redundant fault list after compaction", seq, u.Unit)
+			}
+		}
+	}
+
+	coB, err := NewCoordinator(Config{LedgerDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coB.Close()
+	srvB := httptest.NewServer(coB)
+	defer srvB.Close()
+	clB := NewClient(srvB.URL)
+	processed := driveWorker(t, clB, "wB", sub.JobID, c, 1<<30)
+	st, err := clB.Wait(ctx, sub.JobID, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != stateDone {
+		t.Fatalf("resumed job finished in state %q", st.State)
+	}
+	if st.Replayed != preCrash {
+		t.Fatalf("replayed %d units from the compacted ledger, want %d", st.Replayed, preCrash)
+	}
+	if got, want := len(processed[1]), len(faults)-preCrash; got != want {
+		t.Fatalf("worker processed %d pass-1 units after resume, want %d", got, want)
+	}
+	resp, err := clB.Results(ctx, sub.JobID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range resp.Results {
+		if want := localResults[i].Status.String(); r.Status != want {
+			t.Fatalf("fault %d (%s): status %s, local %s", i, r.Describe, r.Status, want)
+		}
+	}
+	if resp.Tests != localTests {
+		t.Fatal("merged test set differs from the uninterrupted run")
+	}
+}
+
+// TestLedgerCompactTerminalStub: a finished job's journal compacts to the
+// two-line identity stub — enough for ID allocation and the resume skip,
+// nothing more.
+func TestLedgerCompactTerminalStub(t *testing.T) {
+	dir := t.TempDir()
+	l, err := OpenLedger(dir, "job-000001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.RecordJob("job-000001", "c17", "deadbeef", "INPUT(a)\n", JobOptions{}, []WireFault{{Nets: []string{"a"}, Transition: "rise"}})
+	l.RecordPass(1, WireSpec{}, [][]int{{0}})
+	l.RecordUnit(1, 0, "wA", []int{0}, nil)
+	l.RecordState(stateDone)
+	l.Close()
+
+	path := filepath.Join(dir, "job-000001.jsonl")
+	if _, _, err := CompactLedgerFile(path); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(raw), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("terminal stub has %d lines, want 2:\n%s", len(lines), raw)
+	}
+	lj, err := loadLedgerFile(path)
+	if err != nil || lj == nil {
+		t.Fatalf("stub unreadable: %v", err)
+	}
+	if lj.ID != "job-000001" || lj.State != stateDone {
+		t.Fatalf("stub lost identity or state: %+v", lj)
+	}
+}
+
+// TestLedgerTornTailResync is the crash-mid-append regression test: debris
+// without a trailing newline must not swallow the next record appended after
+// reopen (the pre-fix behavior concatenated them into one unparseable line).
+func TestLedgerTornTailResync(t *testing.T) {
+	dir := t.TempDir()
+	l, err := OpenLedger(dir, "torn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.RecordJob("torn", "c17", "", "", JobOptions{}, nil)
+	l.Close()
+
+	// Crash mid-append: half a record, no newline.
+	path := filepath.Join(dir, "torn.jsonl")
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"t":"unit","pass":1,"un`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	l, err = OpenLedger(dir, "torn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.RecordPass(1, WireSpec{}, [][]int{{0}})
+	l.Close()
+
+	lj, err := loadLedgerFile(path)
+	if err != nil || lj == nil {
+		t.Fatalf("resynced ledger unreadable: %v", err)
+	}
+	if _, ok := lj.Passes[1]; !ok {
+		t.Fatal("record appended after a torn tail was lost (concatenated onto the debris)")
+	}
+}
+
+// TestLedgerChaosTornWrites drives appends through the injector's torn-write
+// failpoint: whatever survives must parse cleanly, be a subset of what was
+// written, and the journal must accept clean appends afterwards.
+func TestLedgerChaosTornWrites(t *testing.T) {
+	dir := t.TempDir()
+	l, err := OpenLedger(dir, "chaotic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.RecordJob("chaotic", "c17", "", "", JobOptions{}, nil)
+	l.RecordPass(1, WireSpec{}, [][]int{{0}})
+
+	inj := chaos.New(chaos.Config{Seed: 3, Tear: 0.5})
+	l.SetChaos(inj)
+	const writes = 40
+	for u := 0; u < writes; u++ {
+		l.RecordUnit(1, u, "wA", nil, nil)
+	}
+	l.SetChaos(nil)
+	l.RecordState(stateDone) // clean append after the carnage
+	l.Close()
+
+	if torn := inj.Stats().Torn; torn == 0 {
+		t.Fatal("tear failpoint never fired at probability 0.5 over 40 writes")
+	}
+	lj, err := loadLedgerFile(filepath.Join(dir, "chaotic.jsonl"))
+	if err != nil || lj == nil {
+		t.Fatalf("chaotic ledger unreadable: %v", err)
+	}
+	seen := make(map[int]bool)
+	for _, u := range lj.Units[1] {
+		if u.Unit < 0 || u.Unit >= writes || seen[u.Unit] {
+			t.Fatalf("unit %d surfaced corrupt or doubled from torn writes", u.Unit)
+		}
+		seen[u.Unit] = true
+	}
+	if len(lj.Units[1]) == writes {
+		t.Fatal("no unit record was lost despite torn writes — failpoint not on the write path")
+	}
+	if lj.State != stateDone {
+		t.Fatal("clean append after torn writes was lost (tail never resealed)")
+	}
+}
+
+// TestWorkerBackoffCounters: a worker facing a dead coordinator must ramp
+// its error backoff beyond the poll period (and count the failures); an idle
+// worker must sleep a jittered poll within [Poll/2, 3*Poll/2).
+func TestWorkerBackoffCounters(t *testing.T) {
+	const poll = 10 * time.Millisecond
+
+	// Dead coordinator: the URL refuses connections immediately.
+	dead := httptest.NewServer(nil)
+	deadURL := dead.URL
+	dead.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	wk := NewWorker(WorkerConfig{Coordinator: deadURL, ID: "dead", Poll: poll})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = wk.Run(ctx)
+	}()
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		cnt := wk.Counters()
+		if cnt.LeaseErrors >= 2 {
+			if cnt.Backoff < poll {
+				t.Errorf("error backoff %v below the poll period %v", cnt.Backoff, poll)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("worker never counted 2 lease errors against a dead coordinator: %+v", cnt)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	cancel()
+	<-done
+
+	// Idle coordinator: jittered poll, no errors.
+	co, err := NewCoordinator(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer co.Close()
+	srv := httptest.NewServer(co)
+	defer srv.Close()
+	ctx, cancel = context.WithCancel(context.Background())
+	defer cancel()
+	wk = NewWorker(WorkerConfig{Coordinator: srv.URL, ID: "idle", Poll: poll})
+	done = make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = wk.Run(ctx)
+	}()
+	deadline = time.Now().Add(15 * time.Second)
+	for {
+		cnt := wk.Counters()
+		if cnt.IdlePolls >= 5 {
+			if cnt.Backoff < poll/2 || cnt.Backoff >= poll*3/2 {
+				t.Errorf("idle backoff %v outside the jitter window [%v, %v)", cnt.Backoff, poll/2, poll*3/2)
+			}
+			if cnt.LeaseErrors != 0 {
+				t.Errorf("idle worker counted %d lease errors", cnt.LeaseErrors)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("worker never counted 5 idle polls: %+v", cnt)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	cancel()
+	<-done
+}
+
+// replayCut is the accounting replay derives from a loaded ledger, applying
+// replayPassLocked's own filters: only units of a recorded pass, in range of
+// its cut, first completion wins.  This is exactly what resume applies, so
+// compaction must preserve it bit for bit.
+func replayCut(lj *LedgerJob) map[int][]LedgerUnit {
+	cut := make(map[int][]LedgerUnit)
+	for seq, units := range lj.Units {
+		lp, ok := lj.Passes[seq]
+		if !ok {
+			continue // no pass record: replay never applies these
+		}
+		seen := make(map[int]bool)
+		for _, u := range units {
+			if u.Unit < 0 || u.Unit >= len(lp.Units) || seen[u.Unit] {
+				continue
+			}
+			seen[u.Unit] = true
+			u.Faults = nil // informational; compaction drops it by design
+			cut[seq] = append(cut[seq], u)
+		}
+	}
+	return cut
+}
+
+// FuzzLedgerCompact throws arbitrary bytes at the JSONL loader and then at
+// the compactor, holding the resume safety property: parsing never panics,
+// and for any loadable journal the replay cut — which units exist, who
+// completed them first, with which outcomes — survives compaction unchanged
+// (so resume can never double-dispatch a recorded unit or drop a completed
+// one), terminal states survive, and compaction is idempotent.
+func FuzzLedgerCompact(f *testing.F) {
+	f.Add([]byte(`{"t":"job","id":"j1","name":"c17","bench":"INPUT(a)\n"}
+{"t":"pass","seq":1,"spec":{},"units":[[0],[1]]}
+{"t":"unit","pass":1,"unit":0,"worker":"wA","outcomes":[{"s":"tested"}]}
+{"t":"unit","pass":1,"unit":0,"worker":"wB"}
+{"t":"unit","pass":1,"unit":1,"worker":"wA"}
+`))
+	f.Add([]byte(`{"t":"job","id":"j2","name":"c17"}
+{"t":"state","state":"done"}
+`))
+	f.Add([]byte(`{"t":"job","id":"j3"}
+{"t":"unit","pa`)) // torn tail
+	f.Add([]byte("\n\ngarbage not json\n{\"t\":\"job\",\"id\":\"j4\"}\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dir := t.TempDir()
+		path := filepath.Join(dir, "fuzz.jsonl")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		lj, err := loadLedgerFile(path)
+		if err != nil || lj == nil {
+			return // unloadable input: nothing to preserve
+		}
+		wantCut, wantState := replayCut(lj), lj.State
+
+		if _, _, err := CompactLedgerFile(path); err != nil {
+			t.Fatalf("compaction failed on a loadable journal: %v", err)
+		}
+		lj2, err := loadLedgerFile(path)
+		if err != nil || lj2 == nil {
+			t.Fatalf("journal unloadable after compaction: %v", err)
+		}
+		if lj2.State != wantState {
+			t.Fatalf("terminal state %q became %q under compaction", wantState, lj2.State)
+		}
+		if wantState == "" {
+			if lj2.ID != lj.ID || lj2.Bench != lj.Bench {
+				t.Fatal("live job lost identity or circuit under compaction")
+			}
+			if got := replayCut(lj2); !reflect.DeepEqual(got, wantCut) {
+				t.Fatalf("replay cut changed under compaction:\nbefore: %#v\nafter:  %#v", wantCut, got)
+			}
+		}
+
+		// Idempotence: a second compaction must be a byte-level no-op.
+		once, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := CompactLedgerFile(path); err != nil {
+			t.Fatal(err)
+		}
+		twice, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(once, twice) {
+			t.Fatal("compaction is not idempotent")
+		}
+	})
+}

@@ -3,13 +3,17 @@ package service
 import (
 	"context"
 	"errors"
+	"hash/fnv"
+	"math/rand"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/paths"
 	"repro/internal/pattern"
+	"repro/internal/retry"
 )
 
 // WorkerConfig tunes a Worker.
@@ -23,12 +27,38 @@ type WorkerConfig struct {
 	// trip amortizes the wire latency over more generation work.  Default 4.
 	MaxUnits int
 	// Poll is the idle backoff when nothing is leasable.  Default 100ms.
+	// The actual sleep is jittered in [Poll/2, 3*Poll/2) — a fleet of idle
+	// workers spreads out instead of leasing in lockstep — and coordinator
+	// errors back off exponentially from Poll instead of hammering a
+	// restarting coordinator on a flat period.
 	Poll time.Duration
 	// JobPoll is the period of the per-job status watch that propagates
 	// coordinator-side cancellation into running generation.  Default 500ms.
 	JobPoll time.Duration
 	// CacheSize bounds the worker's own compiled-circuit cache.  Default 64.
 	CacheSize int
+	// Transport overrides the HTTP transport of the worker's client — the
+	// chaos injector enters here.  nil uses the default transport.
+	Transport http.RoundTripper
+	// Seed pins the jitter sequence; 0 derives a stable per-ID seed, so a
+	// named worker's idle schedule is reproducible but fleet-unique.
+	Seed int64
+}
+
+// WorkerCounters exposes the loop's behavior: tests and operators read them
+// to verify backoff actually engaged instead of inferring it from logs.
+type WorkerCounters struct {
+	// Leases counts successful non-empty lease grants.
+	Leases int64
+	// Units counts work units processed (whether or not the post landed).
+	Units int64
+	// IdlePolls counts empty (204) lease responses.
+	IdlePolls int64
+	// LeaseErrors counts failed lease round trips (after client retries).
+	LeaseErrors int64
+	// Backoff is the effective backoff: the duration of the most recent
+	// idle or error sleep.
+	Backoff time.Duration
 }
 
 func (cfg WorkerConfig) withDefaults() WorkerConfig {
@@ -58,7 +88,11 @@ type Worker struct {
 	cl    *Client
 	cache *Cache
 
+	leases, units, idlePolls, leaseErrors atomic.Int64
+	backoffNS                             atomic.Int64
+
 	mu   sync.Mutex
+	rng  *rand.Rand // jitter source; guarded by mu
 	jobs map[string]*workerJob
 }
 
@@ -79,32 +113,108 @@ type workerJob struct {
 // NewWorker builds a worker for the coordinator named in the config.
 func NewWorker(cfg WorkerConfig) *Worker {
 	cfg = cfg.withDefaults()
+	var opts []ClientOption
+	if cfg.Transport != nil {
+		opts = append(opts, WithTransport(cfg.Transport))
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		h := fnv.New64a()
+		_, _ = h.Write([]byte(cfg.ID))
+		seed = int64(h.Sum64())
+	}
 	return &Worker{
 		cfg:   cfg,
-		cl:    NewClient(cfg.Coordinator),
+		cl:    NewClient(cfg.Coordinator, opts...),
 		cache: NewCache(cfg.CacheSize),
+		rng:   rand.New(rand.NewSource(seed)),
 		jobs:  make(map[string]*workerJob),
 	}
 }
 
+// Counters snapshots the worker's loop counters.
+func (wk *Worker) Counters() WorkerCounters {
+	return WorkerCounters{
+		Leases:      wk.leases.Load(),
+		Units:       wk.units.Load(),
+		IdlePolls:   wk.idlePolls.Load(),
+		LeaseErrors: wk.leaseErrors.Load(),
+		Backoff:     time.Duration(wk.backoffNS.Load()),
+	}
+}
+
+// idleJitter draws the next idle sleep from [Poll/2, 3*Poll/2).
+func (wk *Worker) idleJitter() time.Duration {
+	wk.mu.Lock()
+	defer wk.mu.Unlock()
+	return wk.cfg.Poll/2 + time.Duration(wk.rng.Int63n(int64(wk.cfg.Poll)))
+}
+
 // Run leases and processes units until the context ends.  Transient
-// coordinator errors (it may be restarting) back off and retry.
+// coordinator errors (it may be restarting) back off with decorrelated
+// jitter — from Poll up to errorBackoffCap — instead of hammering a
+// recovering coordinator on a flat period; idle polls sleep a jittered
+// Poll so a fleet of idle workers does not lease in lockstep.
 //
 //atpgvet:ctxloop
 func (wk *Worker) Run(ctx context.Context) error {
+	errBackoff := retry.Policy{
+		Initial:  wk.cfg.Poll,
+		Max:      errorBackoffCap(wk.cfg.Poll),
+		Attempts: -1, // the context ends the loop, not an attempt budget
+		Seed:     wk.rng.Int63(),
+	}.Backoff()
 	for ctx.Err() == nil {
 		lease, ok, err := wk.cl.Lease(ctx, wk.cfg.ID, wk.cfg.MaxUnits)
-		if err != nil || !ok {
-			select {
-			case <-ctx.Done():
-			case <-time.After(wk.cfg.Poll):
-			}
-			continue
+		switch {
+		case err != nil:
+			wk.leaseErrors.Add(1)
+			wk.backoffNS.Store(int64(nextDelay(errBackoff)))
+			wk.sleep(ctx, time.Duration(wk.backoffNS.Load()))
+		case !ok:
+			wk.idlePolls.Add(1)
+			errBackoff.Reset()
+			d := wk.idleJitter()
+			wk.backoffNS.Store(int64(d))
+			wk.sleep(ctx, d)
+		default:
+			wk.leases.Add(1)
+			errBackoff.Reset()
+			wk.backoffNS.Store(0)
+			wk.process(ctx, lease)
 		}
-		wk.process(ctx, lease)
 	}
 	wk.dropAll()
 	return ctx.Err()
+}
+
+// errorBackoffCap bounds the error backoff: generous enough to ride out a
+// coordinator restart, short enough to rejoin promptly.
+func errorBackoffCap(poll time.Duration) time.Duration {
+	limit := 20 * poll
+	if limit < 2*time.Second {
+		limit = 2 * time.Second
+	}
+	if limit > 10*time.Second {
+		limit = 10 * time.Second
+	}
+	return limit
+}
+
+// nextDelay reads the backoff's next delay; the unlimited attempt budget
+// means ok can only be false on a time budget, which the policy does not set.
+func nextDelay(b *retry.Backoff) time.Duration {
+	d, _ := b.Next()
+	return d
+}
+
+func (wk *Worker) sleep(ctx context.Context, d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+	case <-t.C:
+	}
 }
 
 // process runs one leased batch through the job's generator and posts the
@@ -146,6 +256,7 @@ func (wk *Worker) process(ctx context.Context, lease LeaseResponse) {
 			ufaults[i] = wj.faults[fi]
 		}
 		outs := wj.gen.ProcessRemoteUnit(wj.ctx, ufaults, spec, foreign)
+		wk.units.Add(1)
 		foreign = nil
 		wire := make([]WireOutcome, len(outs))
 		for i, o := range outs {
