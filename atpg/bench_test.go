@@ -12,6 +12,7 @@ package atpg_test
 import (
 	"context"
 	"fmt"
+	"sort"
 	"testing"
 
 	"repro/atpg"
@@ -21,6 +22,7 @@ import (
 	"repro/internal/harness"
 	"repro/internal/paths"
 	"repro/internal/sensitize"
+	"repro/internal/testability"
 )
 
 // benchConfig is the scaled-down configuration used by the table benchmarks.
@@ -171,9 +173,9 @@ func BenchmarkGrouping(b *testing.B) {
 		{"fixed=64", nil},
 		{"serial=1", []atpg.Option{atpg.WithWordWidth(1), atpg.WithInterleavedSim(1)}},
 		{"adaptive=8", []atpg.Option{atpg.WithEscalation(8)}},
-		{"adaptive=64", []atpg.Option{atpg.WithEscalation(atpg.MaxWordWidth)}},
+		{"adaptive=64", []atpg.Option{atpg.WithEscalation(atpg.DefaultWordWidth)}},
 		{"guided=auto", []atpg.Option{atpg.WithGuidedEscalation(true)}},
-		{"guided=64", []atpg.Option{atpg.WithEscalation(atpg.MaxWordWidth), atpg.WithGuidedEscalation(true)}},
+		{"guided=64", []atpg.Option{atpg.WithEscalation(atpg.DefaultWordWidth), atpg.WithGuidedEscalation(true)}},
 	} {
 		b.Run(v.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
@@ -184,6 +186,38 @@ func BenchmarkGrouping(b *testing.B) {
 				if _, err := e.Run(context.Background(), faults); err != nil {
 					b.Fatal(err)
 				}
+			}
+		})
+	}
+}
+
+// BenchmarkGroupingWide measures the multi-word width economics on a
+// hard-fault reference: the c7552 sample is scored with the circuit's
+// testability measures and only the hardest quarter is kept, so the run is
+// dominated by faults whose searches are expensive enough to pay for
+// word-parallel sharing.  This is the decision benchmark for the L>64 plane
+// vectors: on this population L=128 and L=256 beat fixed L=64 in ns/op by a
+// few percent, and L=512 is near break-even (on the easy-bulk
+// BenchmarkGrouping sample above the wide widths lose; see the README
+// Performance notes).
+func BenchmarkGroupingWide(b *testing.B) {
+	c, err := bench.Get("c7552")
+	if err != nil {
+		b.Fatal(err)
+	}
+	sample := paths.SampleFaults(c, 1024, 1995)
+	tm := testability.For(c)
+	sort.SliceStable(sample, func(i, j int) bool {
+		return tm.FaultScore(c, sample[i], sensitize.Robust) > tm.FaultScore(c, sample[j], sensitize.Robust)
+	})
+	faults := sample[:256]
+	for _, width := range []int{64, 128, 256, 512} {
+		b.Run(fmt.Sprintf("fixed=%d", width), func(b *testing.B) {
+			opts := core.DefaultOptions(sensitize.Robust)
+			opts.WordWidth = width
+			opts.FaultSimInterval = width
+			for i := 0; i < b.N; i++ {
+				core.New(c, opts).Run(context.Background(), faults)
 			}
 		})
 	}
@@ -265,9 +299,9 @@ func BenchmarkFigure2APTPG(b *testing.B) {
 // parameter) on the s1423-class circuit.
 func BenchmarkAblationWordWidth(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows := harness.RunWordWidthAblation(benchConfig(sensitize.Nonrobust), []int{1, 8, 32, 64})
-		if len(rows) != 4 {
-			b.Fatalf("expected 4 rows, got %d", len(rows))
+		rows := harness.RunWordWidthAblation(benchConfig(sensitize.Nonrobust), []int{1, 8, 32, 64, 128, 512})
+		if len(rows) != 6 {
+			b.Fatalf("expected 6 rows, got %d", len(rows))
 		}
 	}
 }

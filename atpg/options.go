@@ -33,9 +33,17 @@ func ParseMode(s string) (Mode, error) {
 	return Nonrobust, fmt.Errorf("atpg: unknown mode %q (want robust or nonrobust)", s)
 }
 
-// MaxWordWidth is the largest word width L the generator exploits: the
-// machine word length, 64 bit levels.
-const MaxWordWidth = logic.WordWidth
+// MaxWordWidth is the largest word width L the generator exploits.  Widths
+// above the 64-bit machine word run on multi-word plane vectors
+// (structure-of-arrays storage, up to 512 bit levels); see DefaultWordWidth
+// for the width engines use when none is requested.
+const MaxWordWidth = logic.MaxWordWidth
+
+// DefaultWordWidth is the width engines run at when WithWordWidth is not
+// given: one machine word, 64 bit levels.  Wider planes amortize better on
+// hard fault populations but cost proportionally more per implication; see
+// the README performance notes before raising it.
+const DefaultWordWidth = logic.WordWidth
 
 // Schedule selects how a multi-worker engine dispatches fault groups to its
 // workers (see [WithSchedule]).
@@ -95,9 +103,9 @@ func WithMode(m Mode) Option {
 }
 
 // WithWordWidth sets the number of bit levels L exploited by both forms of
-// bit parallelism (default: MaxWordWidth).  Width 1 is the single-bit
-// baseline of Tables 5 and 6.  Widths outside 1..MaxWordWidth make New fail
-// with ErrBadWidth.
+// bit parallelism (default: DefaultWordWidth).  Width 1 is the single-bit
+// baseline of Tables 5 and 6; widths above 64 span multiple plane words per
+// net.  Widths outside 1..MaxWordWidth make New fail with ErrBadWidth.
 func WithWordWidth(w int) Option {
 	return func(c *engineConfig) error {
 		if w < 1 || w > MaxWordWidth {

@@ -23,6 +23,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/circuit"
+	"repro/internal/logic"
 	"repro/internal/paths"
 	"repro/internal/service"
 )
@@ -35,7 +36,7 @@ func main() {
 		mode        = flag.String("mode", "robust", "test class: robust or nonrobust")
 		numFaults   = flag.Int("faults", 256, "number of target faults (0 = all structural faults; beware of path explosion)")
 		seed        = flag.Int64("seed", 1995, "seed for fault sampling")
-		width       = flag.Int("width", 0, "word width L (1..64, 0 = maximum)")
+		width       = flag.Int("width", 0, fmt.Sprintf("word width L (1..%d, 0 = default %d)", logic.MaxWordWidth, logic.WordWidth))
 		schedule    = flag.String("schedule", "", "dispatch policy on each worker: static or steal")
 		escalate    = flag.Int("escalate", 0, "adaptive grouping escalation width W (0 = off)")
 		guided      = flag.Bool("guided", false, "testability-guided search")

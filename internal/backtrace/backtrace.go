@@ -41,7 +41,7 @@ func Backtrace(st *implic.State, m *testability.Measures, net circuit.NetID, wan
 		}
 		g := c.Gate(cur)
 		if g.Kind == logic.Input {
-			if st.SimValue(cur).Get(level) != logic.X7 {
+			if st.SimGet(cur, level) != logic.X7 {
 				return Objective{}, false
 			}
 			return Objective{Input: cur, Value: curWant}, true
@@ -123,7 +123,7 @@ func step(st *implic.State, m *testability.Measures, g *circuit.Gate, want logic
 		best := circuit.InvalidNet
 		bestCost := 0
 		for _, f := range g.Fanin {
-			v := st.SimValue(f).Get(level).Final()
+			v := st.SimGet(f, level).Final()
 			if v.IsAssigned() {
 				if v == logic.One3 {
 					parity = parity.Not()
@@ -154,7 +154,7 @@ func step(st *implic.State, m *testability.Measures, g *circuit.Gate, want logic
 }
 
 func unassigned(st *implic.State, net circuit.NetID, level int) bool {
-	return st.SimValue(net).Get(level) == logic.X7
+	return st.SimGet(net, level) == logic.X7
 }
 
 func onlyUnassigned(st *implic.State, g *circuit.Gate, level int) int {

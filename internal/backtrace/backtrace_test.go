@@ -13,7 +13,7 @@ import (
 func TestBacktraceDirectInput(t *testing.T) {
 	c := bench.C17()
 	st := implic.NewState(c)
-	st.Reset(1)
+	st.Reset(logic.LevelsMask(1))
 	cc := testability.Analyze(c)
 	in2 := c.NetByName("2")
 	st.ForwardSim()
@@ -25,7 +25,7 @@ func TestBacktraceDirectInput(t *testing.T) {
 		t.Errorf("objective = %+v, want input 2 = 1", obj)
 	}
 	// Once the input is assigned, backtracing to it must fail.
-	st.AssignPI(in2, logic.Stable0, 1)
+	st.AssignPI(in2, logic.Stable0, logic.LevelsMask(1))
 	st.ForwardSim()
 	if _, ok := Backtrace(st, cc, in2, logic.Final1, 0); ok {
 		t.Error("backtrace to an already assigned input should fail")
@@ -35,7 +35,7 @@ func TestBacktraceDirectInput(t *testing.T) {
 func TestBacktraceThroughGates(t *testing.T) {
 	c := bench.C17()
 	st := implic.NewState(c)
-	st.Reset(1)
+	st.Reset(logic.LevelsMask(1))
 	st.ForwardSim()
 	cc := testability.Analyze(c)
 
@@ -56,9 +56,9 @@ func TestBacktraceThroughGates(t *testing.T) {
 	if obj.Value == logic.One3 {
 		v = logic.Stable1
 	}
-	st.AssignPI(obj.Input, v, 1)
+	st.AssignPI(obj.Input, v, logic.LevelsMask(1))
 	st.ForwardSim()
-	if st.SimValue(obj.Input).Get(0) == logic.X7 {
+	if st.SimGet(obj.Input, 0) == logic.X7 {
 		t.Error("assigned objective input should no longer be X")
 	}
 
@@ -85,12 +85,12 @@ func TestBacktraceRepeatedJustification(t *testing.T) {
 		}
 		for _, want := range []logic.Value7{logic.Final0, logic.Final1} {
 			st := implic.NewState(c)
-			st.Reset(1)
-			st.AddRequirement(g.ID, want, 1)
+			st.Reset(logic.LevelsMask(1))
+			st.AddRequirement(g.ID, want, logic.LevelsMask(1))
 			st.Imply()
 			st.ForwardSim()
 			for iter := 0; iter < 20; iter++ {
-				if st.JustifiedMask()&1 != 0 {
+				if st.JustifiedMask().Bit(0) {
 					break
 				}
 				unj := st.Unjustified(0)
@@ -107,7 +107,7 @@ func TestBacktraceRepeatedJustification(t *testing.T) {
 					if obj.Value == logic.One3 {
 						v = logic.Stable1
 					}
-					st.AssignPI(obj.Input, v, 1)
+					st.AssignPI(obj.Input, v, logic.LevelsMask(1))
 					progressed = true
 					break
 				}
@@ -117,7 +117,7 @@ func TestBacktraceRepeatedJustification(t *testing.T) {
 				st.Imply()
 				st.ForwardSim()
 			}
-			if st.JustifiedMask()&1 == 0 {
+			if !st.JustifiedMask().Bit(0) {
 				t.Errorf("could not justify %s = %v on c17", g.Name, want)
 			}
 		}
@@ -136,9 +136,9 @@ func TestBacktraceXorParity(t *testing.T) {
 		t.Fatal(err)
 	}
 	st := implic.NewState(c)
-	st.Reset(1)
-	st.AssignPI(a, logic.Stable1, 1)
-	st.AssignPI(bb, logic.Stable0, 1)
+	st.Reset(logic.LevelsMask(1))
+	st.AssignPI(a, logic.Stable1, logic.LevelsMask(1))
+	st.AssignPI(bb, logic.Stable0, logic.LevelsMask(1))
 	st.ForwardSim()
 	cc := testability.Analyze(c)
 	// With a=1 and b=0 known, making x=0 requires c=1.
@@ -159,9 +159,9 @@ func TestBacktraceXorParity(t *testing.T) {
 func TestBacktraceFailsWhenEverythingAssigned(t *testing.T) {
 	c := bench.C17()
 	st := implic.NewState(c)
-	st.Reset(1)
+	st.Reset(logic.LevelsMask(1))
 	for _, in := range c.Inputs() {
-		st.AssignPI(in, logic.Stable1, 1)
+		st.AssignPI(in, logic.Stable1, logic.LevelsMask(1))
 	}
 	st.ForwardSim()
 	cc := testability.Analyze(c)

@@ -106,8 +106,10 @@ func (p Phase) String() string {
 type Options struct {
 	// Mode selects robust or nonrobust test generation.
 	Mode sensitize.Mode
-	// WordWidth is the number of bit levels L exploited (1..64).  Width 1 is
-	// the single-bit baseline of Tables 5 and 6.
+	// WordWidth is the number of bit levels L exploited
+	// (1..logic.MaxWordWidth).  Widths above 64 span multiple plane words per
+	// net (see internal/logic's vector types); width 1 is the single-bit
+	// baseline of Tables 5 and 6.
 	WordWidth int
 	// UseFPTPG enables the fault-parallel first phase.
 	UseFPTPG bool
@@ -115,7 +117,13 @@ type Options struct {
 	// phases disabled every fault is aborted, so at least one should be on.
 	UseAPTPG bool
 	// MaxEnumInputs caps the number of primary inputs enumerated in parallel
-	// by APTPG.  Zero or negative means log2(WordWidth), the paper's limit.
+	// by APTPG.  Zero or negative means log2(WordWidth) clamped to the
+	// machine word's log2(64) = 6, the paper's limit: alternative enumeration
+	// beyond one machine word pays the multi-word plane cost on every
+	// implication of a single-fault search, which measures as a loss, so
+	// widths above 64 keep their width for the fault-parallel phase but
+	// enumerate alternatives one word at a time unless this cap is raised
+	// explicitly.
 	MaxEnumInputs int
 	// MaxBacktracks bounds the conventional backtracks per fault in APTPG
 	// before the fault is aborted.
@@ -226,11 +234,14 @@ func (o Options) normalize() Options {
 	if o.WordWidth < 1 {
 		o.WordWidth = 1
 	}
-	if o.WordWidth > logic.WordWidth {
-		o.WordWidth = logic.WordWidth
+	if o.WordWidth > logic.MaxWordWidth {
+		o.WordWidth = logic.MaxWordWidth
 	}
 	if o.MaxEnumInputs <= 0 {
 		o.MaxEnumInputs = log2(o.WordWidth)
+		if o.MaxEnumInputs > log2(logic.WordWidth) {
+			o.MaxEnumInputs = log2(logic.WordWidth)
+		}
 	}
 	if o.MaxBacktracks <= 0 {
 		o.MaxBacktracks = 8
@@ -250,8 +261,8 @@ func (o Options) normalize() Options {
 	if o.EscalationWidth < 0 {
 		o.EscalationWidth = 0
 	}
-	if o.EscalationWidth > logic.WordWidth {
-		o.EscalationWidth = logic.WordWidth
+	if o.EscalationWidth > logic.MaxWordWidth {
+		o.EscalationWidth = logic.MaxWordWidth
 	}
 	if (o.EscalationWidth > 0 || o.GuidedEscalation) && o.FirstPassBacktracks <= 0 {
 		o.FirstPassBacktracks = 1

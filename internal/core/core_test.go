@@ -325,12 +325,12 @@ func TestPhaseAblations(t *testing.T) {
 	}
 }
 
-// TestWordWidthSweep: every word width from 1 to 64 produces a complete and
-// consistent classification on c17.
+// TestWordWidthSweep: every word width from 1 to the multi-word maximum
+// produces a complete and consistent classification on c17.
 func TestWordWidthSweep(t *testing.T) {
 	c := bench.C17()
 	var reference []FaultResult
-	for _, width := range []int{1, 2, 4, 8, 16, 32, 64} {
+	for _, width := range []int{1, 2, 4, 8, 16, 32, 64, 128, 256, 512} {
 		opts := DefaultOptions(sensitize.Robust)
 		opts.WordWidth = width
 		opts.FaultSimInterval = width
@@ -446,7 +446,15 @@ func TestStatusAndOptionHelpers(t *testing.T) {
 		t.Error("Phase.String wrong")
 	}
 	o := Options{Mode: sensitize.Robust, WordWidth: 200, MaxBacktracks: -1}.normalize()
-	if o.WordWidth != logic.WordWidth || o.MaxBacktracks <= 0 || o.MaxEnumInputs != 6 {
+	if o.WordWidth != 200 || o.MaxBacktracks <= 0 || o.MaxEnumInputs != 6 {
+		t.Errorf("normalize gave %+v", o)
+	}
+	o = Options{Mode: sensitize.Robust, WordWidth: 4 * logic.MaxWordWidth}.normalize()
+	if o.WordWidth != logic.MaxWordWidth || o.MaxEnumInputs != 6 {
+		t.Errorf("normalize gave %+v", o)
+	}
+	o = Options{Mode: sensitize.Robust, EscalationWidth: 4 * logic.MaxWordWidth}.normalize()
+	if o.EscalationWidth != logic.MaxWordWidth {
 		t.Errorf("normalize gave %+v", o)
 	}
 	o = Options{WordWidth: 0}.normalize()

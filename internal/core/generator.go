@@ -26,6 +26,11 @@ type Generator struct {
 
 	st      *implic.State
 	pruneSt *implic.State
+	// aptpgSt, present only on multi-word engines, is a single-word state the
+	// narrowed APTPG searches swap in: a per-fault search on the wide state
+	// would stride its plane reads by the group's word capacity, paying the
+	// wide cache footprint for single-word epochs.
+	aptpgSt *implic.State
 	tm      *testability.Measures
 	sim     *faultsim.Simulator
 
@@ -102,23 +107,42 @@ func newRecs(faults []paths.Fault) ([]FaultResult, []*rec) {
 // New creates a generator for the circuit with the given options.
 func New(c *circuit.Circuit, opts Options) *Generator {
 	opts = opts.normalize()
+	// The implication state's word capacity must cover the widest pass the
+	// run can take: the escalation width when configured, the full engine
+	// maximum when guided escalation derives the width at run time.
+	capW := opts.WordWidth
+	if opts.EscalationWidth > capW {
+		capW = opts.EscalationWidth
+	}
+	if opts.GuidedEscalation && opts.EscalationWidth == 0 {
+		capW = logic.MaxWordWidth
+	}
 	g := &Generator{
 		c:                 c,
 		opts:              opts,
-		st:                implic.NewState(c),
-		pruneSt:           implic.NewState(c),
+		st:                implic.NewStateWidth(c, capW),
+		pruneSt:           implic.NewStateWidth(c, 1),
 		tm:                testability.For(c),
 		sim:               faultsim.New(c),
 		testSet:           pattern.NewSet(c),
 		redundantPrefixes: make(map[string]bool),
 	}
+	if capW > logic.WordWidth {
+		g.aptpgSt = implic.NewState(c)
+	}
 	if opts.MaxImplySweeps > 0 {
 		g.st.MaxSweeps = opts.MaxImplySweeps
 		g.pruneSt.MaxSweeps = opts.MaxImplySweeps
+		if g.aptpgSt != nil {
+			g.aptpgSt.MaxSweeps = opts.MaxImplySweeps
+		}
 	}
 	if opts.FullSweepImplic {
 		g.st.FullSweep = true
 		g.pruneSt.FullSweep = true
+		if g.aptpgSt != nil {
+			g.aptpgSt.FullSweep = true
+		}
 	}
 	return g
 }
@@ -390,73 +414,73 @@ func (g *Generator) sensitizeRec(r *rec) bool {
 // faults stay Pending and are swept up by Run.
 func (g *Generator) runGroup(ctx context.Context, batch []*rec) []*rec {
 	var needPhase2 []*rec
-	active := logic.LevelMask(len(batch))
+	active := logic.LevelsMask(len(batch))
 	g.st.Reset(active)
 
-	alive := uint64(0)
+	var alive logic.Mask
 	for i, r := range batch {
 		if !g.sensitizeRec(r) {
 			g.markAborted(r, PhaseFPTPG)
 			continue
 		}
-		bit := uint64(1) << uint(i)
+		bit := logic.BitMask(i)
 		for _, a := range r.cond.Assignments {
 			g.st.AddRequirement(a.Net, a.Value, bit)
 		}
 		g.st.AssignPI(r.fault.Path.Input(), g.launchValue(r.fault.Transition), bit)
-		alive |= bit
+		alive = alive.Or(bit)
 	}
 
-	decided := uint64(0)
+	var decided logic.Mask
 	conf := g.implyCounted()
-	if newConf := conf & alive; newConf != 0 {
+	if newConf := conf.And(alive); !newConf.IsZero() {
 		for i, r := range batch {
-			if newConf&(1<<uint(i)) != 0 {
+			if newConf.Bit(i) {
 				g.markRedundant(r, PhaseFPTPG)
 			}
 		}
-		alive &^= newConf
+		alive = alive.AndNot(newConf)
 	}
 
-	for iter := 0; alive != 0 && iter < g.opts.MaxFPTPGIterations; iter++ {
+	for iter := 0; !alive.IsZero() && iter < g.opts.MaxFPTPGIterations; iter++ {
 		if ctx.Err() != nil {
 			return nil
 		}
 		g.st.ForwardSim()
-		if just := g.st.JustifiedMask() & alive; just != 0 {
+		if just := g.st.JustifiedMask().And(alive); !just.IsZero() {
 			for i, r := range batch {
-				bit := uint64(1) << uint(i)
-				if just&bit == 0 {
+				if !just.Bit(i) {
 					continue
 				}
+				bit := logic.BitMask(i)
 				if g.emitTest(r, i, PhaseFPTPG) {
-					alive &^= bit
+					alive = alive.AndNot(bit)
 				} else {
 					// Verification failed: give the fault to APTPG.
 					needPhase2 = append(needPhase2, r)
-					alive &^= bit
+					alive = alive.AndNot(bit)
 				}
 			}
 		}
-		if alive == 0 {
+		if alive.IsZero() {
 			break
 		}
 
 		// One backtrace-guided input assignment per still-alive level.
 		progress := false
 		for i, r := range batch {
-			bit := uint64(1) << uint(i)
-			if alive&bit == 0 {
+			if !alive.Bit(i) {
 				continue
 			}
+			bit := logic.BitMask(i)
 			obj, ok := g.findObjective(i)
 			if !ok {
 				needPhase2 = append(needPhase2, r)
-				alive &^= bit
+				alive = alive.AndNot(bit)
 				continue
 			}
 			g.st.AssignPI(obj.Input, g.decisionValue(obj.Value), bit)
-			decided |= bit
+			decided = decided.Or(bit)
 			r.res.Decisions++
 			g.stats.Decisions++
 			progress = true
@@ -466,13 +490,12 @@ func (g *Generator) runGroup(ctx context.Context, batch []*rec) []*rec {
 		}
 
 		conf = g.implyCounted()
-		if newConf := conf & alive; newConf != 0 {
+		if newConf := conf.And(alive); !newConf.IsZero() {
 			for i, r := range batch {
-				bit := uint64(1) << uint(i)
-				if newConf&bit == 0 {
+				if !newConf.Bit(i) {
 					continue
 				}
-				if decided&bit != 0 {
+				if decided.Bit(i) {
 					// The conflict may stem from a wrong decision: this is
 					// exactly the situation in which the paper passes over to
 					// APTPG instead of backtracking inside FPTPG.
@@ -481,13 +504,13 @@ func (g *Generator) runGroup(ctx context.Context, batch []*rec) []*rec {
 					g.markRedundant(r, PhaseFPTPG)
 				}
 			}
-			alive &^= newConf
+			alive = alive.AndNot(newConf)
 		}
 	}
 
 	// Whatever is still alive after the iteration limit goes to APTPG.
 	for i, r := range batch {
-		if alive&(1<<uint(i)) != 0 {
+		if alive.Bit(i) {
 			needPhase2 = append(needPhase2, r)
 		}
 	}
@@ -499,7 +522,7 @@ func (g *Generator) runGroup(ctx context.Context, batch []*rec) []*rec {
 // required final value (a pure stability requirement defaults to 1, the
 // value Backtrace refines towards).
 func (g *Generator) objectiveCost(net circuit.NetID, level int) int {
-	want := g.st.Requirement(net).Get(level).Final()
+	want := g.st.ReqGet(net, level).Final()
 	if !want.IsAssigned() {
 		want = logic.One3
 	}
@@ -539,7 +562,7 @@ func (g *Generator) orderObjectives(level int) []circuit.NetID {
 // the cheapest requirement (see orderObjectives).
 func (g *Generator) findObjective(level int) (backtrace.Objective, bool) {
 	for _, net := range g.orderObjectives(level) {
-		want := g.st.Requirement(net).Get(level)
+		want := g.st.ReqGet(net, level)
 		if obj, ok := backtrace.Backtrace(g.st, g.tm, net, want, level); ok {
 			return obj, true
 		}
@@ -558,7 +581,7 @@ func (g *Generator) findObjectives(level, max int) []backtrace.Objective {
 		if len(objs) >= max {
 			break
 		}
-		want := g.st.Requirement(net).Get(level)
+		want := g.st.ReqGet(net, level)
 		obj, ok := backtrace.Backtrace(g.st, g.tm, net, want, level)
 		if !ok || seen[obj.Input] {
 			continue
@@ -569,7 +592,7 @@ func (g *Generator) findObjectives(level, max int) []backtrace.Objective {
 	return objs
 }
 
-func (g *Generator) implyCounted() uint64 {
+func (g *Generator) implyCounted() logic.Mask {
 	g.stats.Implications++
 	return g.st.Imply()
 }
@@ -599,7 +622,31 @@ func (g *Generator) runAPTPG(ctx context.Context, r *rec, ps PassSpec) {
 		return
 	}
 	width := ps.Width
-	active := logic.LevelMask(width)
+	maxEnum := log2(width)
+	if maxEnum > g.opts.MaxEnumInputs {
+		maxEnum = g.opts.MaxEnumInputs
+	}
+	// The enumeration distinguishes at most 2^maxEnum value combinations;
+	// bit levels beyond that replay duplicates of the first 2^maxEnum (see
+	// enumWord), so the active mask is narrowed to the alternatives the
+	// search can actually tell apart.  APTPG cost thus tracks the real
+	// alternative count, not the (possibly much wider) group width — wide
+	// multi-word groups pay their width in the fault-parallel phase, where
+	// the sharing is, and drop back to the efficient word here.
+	if ew := 1 << uint(maxEnum); ew < width {
+		width = ew
+	}
+	// A narrowed search fits one machine word: run it on the dedicated
+	// single-word state, whose planes are stored contiguously, instead of
+	// striding word 0 of the wide state's multi-word windows.  The search is
+	// self-contained between Reset and the final Undo sweep, so swapping the
+	// state pointer for the duration is safe.
+	if g.aptpgSt != nil && width <= logic.WordWidth {
+		wide := g.st
+		g.st = g.aptpgSt
+		defer func() { g.st = wide }()
+	}
+	active := logic.LevelsMask(width)
 	g.st.Reset(active)
 	for _, a := range r.cond.Assignments {
 		g.st.AddRequirement(a.Net, a.Value, active)
@@ -614,15 +661,10 @@ func (g *Generator) runAPTPG(ctx context.Context, r *rec, ps PassSpec) {
 		return
 	}
 
-	maxEnum := log2(width)
-	if maxEnum > g.opts.MaxEnumInputs {
-		maxEnum = g.opts.MaxEnumInputs
-	}
-
 	var decisions []decision
 	enumCount := 0
 	backtracks := 0 // backtracks spent on the fault in this pass
-	deadMask := uint64(0)
+	var deadMask logic.Mask
 	sawStuck := false
 
 	// The incremental engine backtracks over the assignment trail: every
@@ -643,7 +685,7 @@ func (g *Generator) runAPTPG(ctx context.Context, r *rec, ps PassSpec) {
 	}
 
 	rebuild := func() {
-		g.st.ClearPI(logic.AllLevels)
+		g.st.ClearPI(active)
 		g.st.AssignPI(pathIn, launch, active)
 		for _, d := range decisions {
 			if d.enumerated {
@@ -653,7 +695,7 @@ func (g *Generator) runAPTPG(ctx context.Context, r *rec, ps PassSpec) {
 			}
 		}
 		g.implyCounted()
-		deadMask = 0
+		deadMask = logic.Mask{}
 	}
 
 	maxSteps := 64 * (ps.Budget + 4) * (len(g.c.Inputs()) + 4)
@@ -664,18 +706,18 @@ func (g *Generator) runAPTPG(ctx context.Context, r *rec, ps PassSpec) {
 			return
 		}
 		g.st.ForwardSim()
-		aliveMask := active &^ g.st.ConflictMask() &^ deadMask
-		if just := g.st.JustifiedMask() & aliveMask; just != 0 {
-			lvl := bits.TrailingZeros64(just)
+		aliveMask := active.AndNot(g.st.ConflictMask()).AndNot(deadMask)
+		if just := g.st.JustifiedMask().And(aliveMask); !just.IsZero() {
+			lvl := just.TrailingZeros()
 			if g.emitTest(r, lvl, PhaseAPTPG) {
 				return
 			}
-			deadMask |= uint64(1) << uint(lvl)
+			deadMask = deadMask.Or(logic.BitMask(lvl))
 			sawStuck = true
 			continue
 		}
 
-		if aliveMask == 0 {
+		if aliveMask.IsZero() {
 			// Every alternative currently under consideration conflicts:
 			// backtrack chronologically over the conventional decisions.
 			backtracks++
@@ -723,7 +765,7 @@ func (g *Generator) runAPTPG(ctx context.Context, r *rec, ps PassSpec) {
 			}
 			if useTrail {
 				g.implyCounted()
-				deadMask = 0
+				deadMask = logic.Mask{}
 			} else {
 				rebuild()
 			}
@@ -736,11 +778,11 @@ func (g *Generator) runAPTPG(ctx context.Context, r *rec, ps PassSpec) {
 		// are examined with a single bit-parallel implication, as described
 		// in Section 3.2 of the paper.  Beyond the budget, decisions are
 		// conventional: one input, one value on all levels.
-		lvl := bits.TrailingZeros64(aliveMask)
+		lvl := aliveMask.TrailingZeros()
 		if enumCount < maxEnum {
 			objs := g.findObjectives(lvl, maxEnum-enumCount)
 			if len(objs) == 0 {
-				deadMask |= uint64(1) << uint(lvl)
+				deadMask = deadMask.Or(logic.BitMask(lvl))
 				sawStuck = true
 				continue
 			}
@@ -757,7 +799,7 @@ func (g *Generator) runAPTPG(ctx context.Context, r *rec, ps PassSpec) {
 		} else {
 			obj, ok := g.findObjective(lvl)
 			if !ok {
-				deadMask |= uint64(1) << uint(lvl)
+				deadMask = deadMask.Or(logic.BitMask(lvl))
 				sawStuck = true
 				continue
 			}
@@ -786,10 +828,10 @@ func (g *Generator) abortOrEscalate(r *rec, ps PassSpec) {
 // enumWord builds the per-level assignment word of the idx-th enumerated
 // input at the given word width: bit level j receives value bit idx of j, so
 // across the active levels all combinations of the enumerated inputs appear.
-func (g *Generator) enumWord(idx, width int) logic.Word7 {
+func (g *Generator) enumWord(idx, width int) logic.Word7V {
 	one := g.decisionValue(logic.One3)
 	zero := g.decisionValue(logic.Zero3)
-	var w logic.Word7
+	var w logic.Word7V
 	for j := 0; j < width; j++ {
 		if (j>>uint(idx))&1 == 1 {
 			w.Set(j, one)
@@ -814,7 +856,7 @@ func (g *Generator) extractPattern(r *rec, level int) (filled, raw pattern.Pair)
 	inputs := g.c.Inputs()
 	raw = pattern.NewPair(len(inputs))
 	for i, in := range inputs {
-		v7 := g.st.PIValue(in).Get(level)
+		v7 := g.st.PIGet(in, level)
 		final := v7.Final()
 		if !final.IsAssigned() {
 			continue
@@ -1036,10 +1078,11 @@ func (g *Generator) prefixConflicts(r *rec, n int) bool {
 	if err != nil {
 		return false
 	}
-	g.pruneSt.Reset(1)
+	one := logic.LevelsMask(1)
+	g.pruneSt.Reset(one)
 	for _, a := range conds.Assignments {
-		g.pruneSt.AddRequirement(a.Net, a.Value, 1)
+		g.pruneSt.AddRequirement(a.Net, a.Value, one)
 	}
-	g.pruneSt.AssignPI(r.fault.Path.Input(), g.launchValue(r.fault.Transition), 1)
-	return g.pruneSt.Imply()&1 != 0
+	g.pruneSt.AssignPI(r.fault.Path.Input(), g.launchValue(r.fault.Transition), one)
+	return g.pruneSt.Imply().Bit(0)
 }

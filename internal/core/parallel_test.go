@@ -269,6 +269,55 @@ func TestSchedulerDeterminism(t *testing.T) {
 	}
 }
 
+// TestWidthDeterminism is the width dimension of the determinism matrix:
+// with the interleaved simulation off, the per-fault classification may not
+// depend on the word width — the single-bit baseline, the one-word width and
+// the multi-word widths must produce bit-identical statuses, sequential or
+// sharded.  (Patterns may differ across widths: APTPG enumerates alternatives
+// across bit levels, so its pattern choice is width-dependent by design.)
+func TestWidthDeterminism(t *testing.T) {
+	c, err := bench.Get("adder8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults := paths.EnumerateFaults(c, 0)
+	var want []Status
+	for _, width := range []int{1, 64, 128, 512} {
+		opts := DefaultOptions(sensitize.Robust)
+		opts.WordWidth = width
+		opts.FaultSimInterval = 0
+		g := New(c, opts)
+		res := g.Run(context.Background(), faults)
+		got := make([]Status, len(res))
+		for i := range res {
+			if res[i].Status == Aborted {
+				t.Fatalf("width %d: fault %s aborted; the matrix needs complete searches",
+					width, res[i].Fault.Key())
+			}
+			got[i] = res[i].Status
+		}
+		if want == nil {
+			want = got
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Errorf("width %d: fault %s is %v, width 1 says %v",
+					width, res[i].Fault.Key(), got[i], want[i])
+			}
+		}
+		for _, workers := range []int{2, 8} {
+			gs := New(c, opts)
+			sharded := RunSharded(context.Background(), gs, faults, workers)
+			for i := range sharded {
+				if sharded[i].Status != want[i] {
+					t.Errorf("width %d workers %d: fault %s is %v, reference says %v",
+						width, workers, sharded[i].Fault.Key(), sharded[i].Status, want[i])
+				}
+			}
+		}
+	}
+}
+
 // TestSchedulerCompactedCoverage completes the determinism matrix on the
 // compaction layer: with full compaction and the interleaved simulation on,
 // the post-compaction coverage over the complete fault list must be

@@ -60,7 +60,7 @@ func ablationProfile() bench.Profile {
 func RunWordWidthAblation(cfg Config, widths []int) []AblationRow {
 	cfg = cfg.normalize()
 	if len(widths) == 0 {
-		widths = []int{1, 8, 16, 32, 64}
+		widths = []int{1, 8, 16, 32, 64, 128, 256, 512}
 	}
 	p := ablationProfile()
 	var rows []AblationRow

@@ -1,6 +1,7 @@
 package implic
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/bench"
@@ -15,29 +16,36 @@ import (
 // them with -benchmem: the steady state must not allocate (the CI bench job
 // gates allocs/op at zero).  The *FullSweep variants measure the retained
 // from-scratch oracle on the identical workload, which is the speed-up the
-// event-driven engine is buying.
+// event-driven engine is buying.  Each benchmark runs at every supported
+// word width so CI tracks the per-word cost of the widened planes.
+
+// benchWidths are the word widths the micro-benchmarks parameterize over.
+var benchWidths = []int{64, 128, 256, 512}
 
 // benchImplyState builds a c880-class state loaded with the sensitization
-// requirements of 64 faults (one per bit level) and an implied base closure,
-// mirroring the generator's state when it starts making decisions.
-func benchImplyState(b *testing.B, fullSweep bool) (*State, []circuit.NetID) {
+// requirements of `width` faults (one per bit level) and an implied base
+// closure, mirroring the generator's state when it starts making decisions.
+func benchImplyState(b *testing.B, fullSweep bool, width int) (*State, []circuit.NetID) {
 	b.Helper()
 	p, ok := bench.ProfileByName("c880")
 	if !ok {
 		b.Fatal("unknown profile c880")
 	}
 	c := bench.MustSynthesize(p)
-	st := NewState(c)
+	st := NewStateWidth(c, width)
 	st.FullSweep = fullSweep
 	st.MaxSweeps = 3 // the generator's default bound
-	st.Reset(logic.AllLevels)
-	for lvl, f := range paths.SampleFaults(c, 64, 1) {
+	active := logic.LevelsMask(width)
+	st.Reset(active)
+	faults := paths.SampleFaults(c, width, 1)
+	for lvl := 0; lvl < width; lvl++ {
+		f := faults[lvl%len(faults)]
 		cond, err := sensitize.Sensitize(c, f, sensitize.Robust)
 		if err != nil {
 			b.Fatal(err)
 		}
 		for _, a := range cond.Assignments {
-			st.AddRequirement(a.Net, a.Value, uint64(1)<<uint(lvl))
+			st.AddRequirement(a.Net, a.Value, logic.BitMask(lvl))
 		}
 	}
 	st.Imply()
@@ -54,7 +62,7 @@ func decisionStep(st *State, inputs []circuit.NetID, i int, sim bool) {
 		v = logic.Stable0
 	}
 	st.Assign()
-	st.AssignPI(in, v, logic.AllLevels)
+	st.AssignPI(in, v, st.Active())
 	st.Imply()
 	if sim {
 		st.ForwardSim()
@@ -63,59 +71,68 @@ func decisionStep(st *State, inputs []circuit.NetID, i int, sim bool) {
 }
 
 // BenchmarkImply measures the steady-state incremental implication closure:
-// one framed input decision implied and undone per iteration.  (The few
-// reported B/op are the amortized growth of the simulation-pending list,
-// which this benchmark never drains because it never calls ForwardSim; the
-// generator's real loop always does.  allocs/op stays zero.)
+// one framed input decision implied and undone per iteration, at every word
+// width.  (The few reported B/op are the amortized growth of the
+// simulation-pending list, which this benchmark never drains because it
+// never calls ForwardSim; the generator's real loop always does.  allocs/op
+// stays zero.)
 func BenchmarkImply(b *testing.B) {
-	st, inputs := benchImplyState(b, false)
-	for i := 0; i < 256; i++ {
-		decisionStep(st, inputs, i, false) // warm up trail/queue capacities
-	}
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		decisionStep(st, inputs, i, false)
+	for _, width := range benchWidths {
+		b.Run(fmt.Sprintf("w%d", width), func(b *testing.B) {
+			st, inputs := benchImplyState(b, false, width)
+			for i := 0; i < 256; i++ {
+				decisionStep(st, inputs, i, false) // warm up trail/queue capacities
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				decisionStep(st, inputs, i, false)
+			}
+		})
 	}
 }
 
 // BenchmarkImplyFullSweep is the identical workload on the full-sweep
 // oracle: every Imply recomputes the closure from scratch.
 func BenchmarkImplyFullSweep(b *testing.B) {
-	st, inputs := benchImplyState(b, true)
+	st, inputs := benchImplyState(b, true, logic.WordWidth)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		in := inputs[i%len(inputs)]
-		st.AssignPI(in, logic.Stable1, logic.AllLevels)
+		st.AssignPI(in, logic.Stable1, st.Active())
 		st.Imply()
 	}
 }
 
 // BenchmarkForwardSim measures the steady-state incremental forward
 // simulation on top of the implied decision (the generator always implies a
-// decision before simulating it).
+// decision before simulating it), at every word width.
 func BenchmarkForwardSim(b *testing.B) {
-	st, inputs := benchImplyState(b, false)
-	for i := 0; i < 256; i++ {
-		decisionStep(st, inputs, i, true)
-	}
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		decisionStep(st, inputs, i, true)
+	for _, width := range benchWidths {
+		b.Run(fmt.Sprintf("w%d", width), func(b *testing.B) {
+			st, inputs := benchImplyState(b, false, width)
+			for i := 0; i < 256; i++ {
+				decisionStep(st, inputs, i, true)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				decisionStep(st, inputs, i, true)
+			}
+		})
 	}
 }
 
 // BenchmarkForwardSimFullSweep is the identical workload with from-scratch
 // whole-circuit simulation.
 func BenchmarkForwardSimFullSweep(b *testing.B) {
-	st, inputs := benchImplyState(b, true)
+	st, inputs := benchImplyState(b, true, logic.WordWidth)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		in := inputs[i%len(inputs)]
-		st.AssignPI(in, logic.Stable1, logic.AllLevels)
+		st.AssignPI(in, logic.Stable1, st.Active())
 		st.Imply()
 		st.ForwardSim()
 	}

@@ -1,6 +1,7 @@
 package implic
 
 import (
+	"fmt"
 	"math/rand"
 	"slices"
 	"testing"
@@ -17,7 +18,8 @@ import (
 // conflict masks, identical Sim planes, identical Val planes on every bit
 // level whose closure is conflict-free (on conflicted levels the derived
 // stability planes are order-dependent; see the package comment), and exact
-// trail restores.
+// trail restores.  Every randomized test runs the width dimension
+// {1, 64, 128, 512}, so the multi-word plane loops are exercised at K > 1.
 
 // equivValues are the assignable seven-valued constants used to drive the
 // randomized tests (X is excluded: assigning X is a no-op).
@@ -25,28 +27,50 @@ var equivValues = []logic.Value7{
 	logic.Stable0, logic.Stable1, logic.Rise7, logic.Fall7, logic.Final0, logic.Final1,
 }
 
+// equivWidths is the word-width dimension of the randomized tests.
+var equivWidths = []int{1, 64, 128, 512}
+
+// randMask returns a random level mask bounded to the given word width.
+func randMask(rng *rand.Rand, width int) logic.Mask {
+	var m logic.Mask
+	for w := 0; w < logic.KForWidth(width); w++ {
+		m[w] = rng.Uint64()
+	}
+	return m.And(logic.LevelsMask(width))
+}
+
+// randPIWord returns a sparse random per-level assignment vector.
+func randPIWord(rng *rand.Rand, width int) logic.Word7V {
+	var w logic.Word7V
+	for lvl := 0; lvl < width; lvl += 1 + rng.Intn(7) {
+		w.Set(lvl, equivValues[rng.Intn(len(equivValues))])
+	}
+	return w
+}
+
 // oracleFor builds a fresh full-sweep state holding the same requirements
 // and input assignments as st.  The oracle recomputes everything from
 // scratch, so the externally assigned planes are all it needs.
 func oracleFor(st *State) *State {
 	c := st.Circuit()
-	o := NewState(c)
+	o := NewStateWidth(c, st.Width())
 	o.FullSweep = true
 	o.MaxSweeps = st.MaxSweeps
 	o.Reset(st.Active())
 	for n := 0; n < c.NumNets(); n++ {
-		req := st.Req[n]
-		if req == (logic.Word7{}) {
+		id := circuit.NetID(n)
+		req := st.Requirement(id)
+		if req.IsZero() {
 			continue
 		}
-		for lvl := 0; lvl < logic.WordWidth; lvl++ {
+		for lvl := 0; lvl < st.Width(); lvl++ {
 			if v := req.Get(lvl); v != logic.X7 {
-				o.AddRequirement(circuit.NetID(n), v, uint64(1)<<uint(lvl))
+				o.AddRequirement(id, v, logic.BitMask(lvl))
 			}
 		}
 	}
 	for _, in := range c.Inputs() {
-		o.AssignPIWord(in, st.PI[in])
+		o.AssignPIWord(in, st.PIValue(in))
 	}
 	return o
 }
@@ -61,24 +85,23 @@ func assertMatchesOracle(t *testing.T, st *State, tag string) {
 	o.ForwardSim()
 	conf := st.ConflictMask()
 	if conf != oConf {
-		t.Fatalf("%s: conflict mask %064b, oracle %064b", tag, conf, oConf)
+		t.Fatalf("%s: conflict mask %v, oracle %v", tag, conf, oConf)
 	}
 	c := st.Circuit()
-	keep := ^conf
+	keep := conf.Not()
 	for n := 0; n < c.NumNets(); n++ {
 		id := circuit.NetID(n)
-		if got, want := st.Val[n].SelectLevels(keep), o.Val[n].SelectLevels(keep); got != want {
-			diff := (got.Zero ^ want.Zero) | (got.One ^ want.One) | (got.Stable ^ want.Stable) | (got.Instable ^ want.Instable)
-			t.Fatalf("%s: Val[%s] conflict-free levels differ:\n  incremental %v\n  oracle      %v\n  diff=%064b\n  actv=%064b\n  conf=%064b",
-				tag, c.NetName(id), got, want, diff, st.Active(), conf)
+		if got, want := st.ImpliedValue(id).SelectLevels(keep), o.ImpliedValue(id).SelectLevels(keep); got != want {
+			t.Fatalf("%s: Val[%s] conflict-free levels differ:\n  incremental %v\n  oracle      %v\n  actv=%v\n  conf=%v",
+				tag, c.NetName(id), got.StringN(st.Width()), want.StringN(st.Width()), st.Active(), conf)
 		}
-		if st.Sim[n] != o.Sim[n] {
+		if got, want := st.SimValue(id), o.SimValue(id); got != want {
 			t.Fatalf("%s: Sim[%s] differs:\n  incremental %v\n  oracle      %v",
-				tag, c.NetName(id), st.Sim[n], o.Sim[n])
+				tag, c.NetName(id), got.StringN(st.Width()), want.StringN(st.Width()))
 		}
 	}
 	if got, want := st.JustifiedMask(), o.JustifiedMask(); got != want {
-		t.Fatalf("%s: JustifiedMask %064b, oracle %064b", tag, got, want)
+		t.Fatalf("%s: JustifiedMask %v, oracle %v", tag, got, want)
 	}
 	for lvl := 0; lvl < 3; lvl++ {
 		got := slices.Clone(st.Unjustified(lvl))
@@ -123,121 +146,129 @@ func equivCircuits(t *testing.T) []*circuit.Circuit {
 // previous rounds forward), so bit-exactness only holds for converged
 // closures — which is every closure in practice; see the package comment.
 func TestIncrementalImplyMatchesOracleRandomOps(t *testing.T) {
-	for _, maxSweeps := range []int{64} {
-		rng := rand.New(rand.NewSource(int64(1000 + maxSweeps)))
-		for _, c := range equivCircuits(t) {
-			st := NewState(c)
-			st.MaxSweeps = maxSweeps
-			inputs := c.Inputs()
-			for trial := 0; trial < 6; trial++ {
-				active := rng.Uint64()
-				if active == 0 {
-					active = logic.AllLevels
-				}
-				st.Reset(active)
-				depth := 0
-				for op := 0; op < 60; op++ {
-					switch rng.Intn(10) {
-					case 0, 1:
-						net := circuit.NetID(rng.Intn(c.NumNets()))
-						v := equivValues[rng.Intn(len(equivValues))]
-						st.AddRequirement(net, v, rng.Uint64())
-					case 2, 3, 4:
-						in := inputs[rng.Intn(len(inputs))]
-						v := equivValues[rng.Intn(len(equivValues))]
-						st.AssignPI(in, v, rng.Uint64())
-					case 5:
-						var w logic.Word7
-						for lvl := 0; lvl < logic.WordWidth; lvl += 1 + rng.Intn(7) {
-							w.Set(lvl, equivValues[rng.Intn(len(equivValues))])
-						}
-						st.AssignPIWord(inputs[rng.Intn(len(inputs))], w)
-					case 6:
-						st.Assign()
-						depth++
-					case 7:
-						if depth > 0 {
-							st.Undo()
-							depth--
-						}
-					default:
-						st.Imply()
-						st.ForwardSim()
-						assertMatchesOracle(t, st, c.Name)
+	for _, width := range equivWidths {
+		width := width
+		t.Run(fmt.Sprintf("w%d", width), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(1000 + width)))
+			for _, c := range equivCircuits(t) {
+				st := NewStateWidth(c, width)
+				st.MaxSweeps = 64
+				inputs := c.Inputs()
+				for trial := 0; trial < 4; trial++ {
+					active := randMask(rng, width)
+					if active.IsZero() {
+						active = logic.LevelsMask(width)
 					}
+					st.Reset(active)
+					depth := 0
+					for op := 0; op < 60; op++ {
+						switch rng.Intn(10) {
+						case 0, 1:
+							net := circuit.NetID(rng.Intn(c.NumNets()))
+							v := equivValues[rng.Intn(len(equivValues))]
+							st.AddRequirement(net, v, randMask(rng, width))
+						case 2, 3, 4:
+							in := inputs[rng.Intn(len(inputs))]
+							v := equivValues[rng.Intn(len(equivValues))]
+							st.AssignPI(in, v, randMask(rng, width))
+						case 5:
+							st.AssignPIWord(inputs[rng.Intn(len(inputs))], randPIWord(rng, width))
+						case 6:
+							st.Assign()
+							depth++
+						case 7:
+							if depth > 0 {
+								st.Undo()
+								depth--
+							}
+						default:
+							st.Imply()
+							st.ForwardSim()
+							assertMatchesOracle(t, st, c.Name)
+						}
+					}
+					st.Imply()
+					st.ForwardSim()
+					assertMatchesOracle(t, st, c.Name+"/final")
 				}
-				st.Imply()
-				st.ForwardSim()
-				assertMatchesOracle(t, st, c.Name+"/final")
 			}
-		}
+		})
 	}
 }
 
 // TestTrailRestoresExactState checks the trail's core guarantee: Undo
 // restores every plane — including closure and simulation values derived
 // after the frame was opened, and including conflicted levels — to the
-// bit-exact state at the matching Assign.
+// bit-exact state at the matching Assign, at every word width.
 func TestTrailRestoresExactState(t *testing.T) {
-	rng := rand.New(rand.NewSource(77))
-	for _, c := range equivCircuits(t) {
-		st := NewState(c)
-		inputs := c.Inputs()
-		st.Reset(logic.AllLevels)
-		// Base requirements plus an implied base state.
-		for i := 0; i < 8; i++ {
-			st.AddRequirement(circuit.NetID(rng.Intn(c.NumNets())), equivValues[rng.Intn(len(equivValues))], rng.Uint64())
-		}
-		st.Imply()
-		st.ForwardSim()
-
-		type snapshot struct {
-			req, pi, val, sim []logic.Word7
-			conflict          uint64
-		}
-		snap := func() snapshot {
-			return snapshot{
-				req:      slices.Clone(st.Req),
-				pi:       slices.Clone(st.PI),
-				val:      slices.Clone(st.Val),
-				sim:      slices.Clone(st.Sim),
-				conflict: st.ConflictMask(),
-			}
-		}
-		var stack []snapshot
-		for op := 0; op < 200; op++ {
-			switch rng.Intn(5) {
-			case 0, 1, 2:
-				if len(stack) < 12 {
-					stack = append(stack, snap())
-					st.Assign()
-				}
-				st.AssignPI(inputs[rng.Intn(len(inputs))], equivValues[rng.Intn(len(equivValues))], rng.Uint64())
-				if rng.Intn(2) == 0 {
-					st.AddRequirement(circuit.NetID(rng.Intn(c.NumNets())), equivValues[rng.Intn(len(equivValues))], rng.Uint64())
+	for _, width := range equivWidths {
+		width := width
+		t.Run(fmt.Sprintf("w%d", width), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(77 + width)))
+			for _, c := range equivCircuits(t) {
+				st := NewStateWidth(c, width)
+				inputs := c.Inputs()
+				st.Reset(logic.LevelsMask(width))
+				// Base requirements plus an implied base state.
+				for i := 0; i < 8; i++ {
+					st.AddRequirement(circuit.NetID(rng.Intn(c.NumNets())), equivValues[rng.Intn(len(equivValues))], randMask(rng, width))
 				}
 				st.Imply()
-				if rng.Intn(2) == 0 {
-					st.ForwardSim()
+				st.ForwardSim()
+
+				type snapshot struct {
+					req, pi, val, sim []logic.Word7V
+					conflict          logic.Mask
 				}
-			default:
-				if len(stack) == 0 {
-					continue
+				snap := func() snapshot {
+					var s snapshot
+					for n := 0; n < c.NumNets(); n++ {
+						id := circuit.NetID(n)
+						s.req = append(s.req, st.Requirement(id))
+						s.pi = append(s.pi, st.PIValue(id))
+						s.val = append(s.val, st.ImpliedValue(id))
+						s.sim = append(s.sim, st.SimValue(id))
+					}
+					s.conflict = st.ConflictMask()
+					return s
 				}
-				st.Undo()
-				want := stack[len(stack)-1]
-				stack = stack[:len(stack)-1]
-				for n := 0; n < c.NumNets(); n++ {
-					if st.Req[n] != want.req[n] || st.PI[n] != want.pi[n] ||
-						st.Val[n] != want.val[n] || st.Sim[n] != want.sim[n] {
-						t.Fatalf("%s: plane mismatch after Undo at net %s", c.Name, c.NetName(circuit.NetID(n)))
+				var stack []snapshot
+				for op := 0; op < 120; op++ {
+					switch rng.Intn(5) {
+					case 0, 1, 2:
+						if len(stack) < 12 {
+							stack = append(stack, snap())
+							st.Assign()
+						}
+						st.AssignPI(inputs[rng.Intn(len(inputs))], equivValues[rng.Intn(len(equivValues))], randMask(rng, width))
+						if rng.Intn(2) == 0 {
+							st.AddRequirement(circuit.NetID(rng.Intn(c.NumNets())), equivValues[rng.Intn(len(equivValues))], randMask(rng, width))
+						}
+						st.Imply()
+						if rng.Intn(2) == 0 {
+							st.ForwardSim()
+						}
+					default:
+						if len(stack) == 0 {
+							continue
+						}
+						st.Undo()
+						want := stack[len(stack)-1]
+						stack = stack[:len(stack)-1]
+						for n := 0; n < c.NumNets(); n++ {
+							id := circuit.NetID(n)
+							if st.Requirement(id) != want.req[n] || st.PIValue(id) != want.pi[n] ||
+								st.ImpliedValue(id) != want.val[n] || st.SimValue(id) != want.sim[n] {
+								t.Fatalf("%s: plane mismatch after Undo at net %s", c.Name, c.NetName(id))
+							}
+						}
+						if st.ConflictMask() != want.conflict {
+							t.Fatalf("%s: conflict mask %v after Undo, want %v", c.Name, st.ConflictMask(), want.conflict)
+						}
 					}
 				}
-				if st.ConflictMask() != want.conflict {
-					t.Fatalf("%s: conflict mask %064b after Undo, want %064b", c.Name, st.ConflictMask(), want.conflict)
-				}
 			}
-		}
+		})
 	}
 }
 
@@ -246,48 +277,54 @@ func TestTrailRestoresExactState(t *testing.T) {
 // chain of framed input decisions that is finally unwound — and checks the
 // incremental engine against the oracle at every step.
 func TestIncrementalSensitizationMatchesOracle(t *testing.T) {
-	rng := rand.New(rand.NewSource(55))
-	for _, name := range []string{"c432", "c880", "c1355"} {
-		p, ok := bench.ProfileByName(name)
-		if !ok {
-			t.Fatalf("unknown profile %q", name)
-		}
-		c := bench.MustSynthesize(p.Scaled(0.5))
-		st := NewState(c)
-		st.MaxSweeps = 64 // high enough to converge; see TestIncrementalImplyMatchesOracleRandomOps
-		inputs := c.Inputs()
-		for _, mode := range []sensitize.Mode{sensitize.Robust, sensitize.Nonrobust} {
-			for _, f := range paths.SampleFaults(c, 12, int64(17+len(name))) {
-				cond, err := sensitize.Sensitize(c, f, mode)
-				if err != nil {
-					continue
+	for _, width := range []int{64, 128, 512} {
+		width := width
+		t.Run(fmt.Sprintf("w%d", width), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(55 + width)))
+			all := logic.LevelsMask(width)
+			for _, name := range []string{"c432", "c880", "c1355"} {
+				p, ok := bench.ProfileByName(name)
+				if !ok {
+					t.Fatalf("unknown profile %q", name)
 				}
-				st.Reset(logic.AllLevels)
-				for _, a := range cond.Assignments {
-					st.AddRequirement(a.Net, a.Value, logic.AllLevels)
-				}
-				st.AssignPI(f.Path.Input(), f.Transition.Value7(), logic.AllLevels)
-				st.Imply()
-				st.ForwardSim()
-				assertMatchesOracle(t, st, c.Name+"/"+mode.String()+"/setup")
+				c := bench.MustSynthesize(p.Scaled(0.5))
+				st := NewStateWidth(c, width)
+				st.MaxSweeps = 64 // high enough to converge; see TestIncrementalImplyMatchesOracleRandomOps
+				inputs := c.Inputs()
+				for _, mode := range []sensitize.Mode{sensitize.Robust, sensitize.Nonrobust} {
+					for _, f := range paths.SampleFaults(c, 8, int64(17+len(name))) {
+						cond, err := sensitize.Sensitize(c, f, mode)
+						if err != nil {
+							continue
+						}
+						st.Reset(all)
+						for _, a := range cond.Assignments {
+							st.AddRequirement(a.Net, a.Value, all)
+						}
+						st.AssignPI(f.Path.Input(), f.Transition.Value7(), all)
+						st.Imply()
+						st.ForwardSim()
+						assertMatchesOracle(t, st, c.Name+"/"+mode.String()+"/setup")
 
-				depth := 0
-				for d := 0; d < 6; d++ {
-					st.Assign()
-					depth++
-					st.AssignPI(inputs[rng.Intn(len(inputs))], equivValues[rng.Intn(len(equivValues))], logic.AllLevels)
-					st.Imply()
-					st.ForwardSim()
-					assertMatchesOracle(t, st, c.Name+"/"+mode.String()+"/decide")
-				}
-				for ; depth > 0; depth-- {
-					st.Undo()
-					st.Imply()
-					st.ForwardSim()
-					assertMatchesOracle(t, st, c.Name+"/"+mode.String()+"/undo")
+						depth := 0
+						for d := 0; d < 6; d++ {
+							st.Assign()
+							depth++
+							st.AssignPI(inputs[rng.Intn(len(inputs))], equivValues[rng.Intn(len(equivValues))], all)
+							st.Imply()
+							st.ForwardSim()
+							assertMatchesOracle(t, st, c.Name+"/"+mode.String()+"/decide")
+						}
+						for ; depth > 0; depth-- {
+							st.Undo()
+							st.Imply()
+							st.ForwardSim()
+							assertMatchesOracle(t, st, c.Name+"/"+mode.String()+"/undo")
+						}
+					}
 				}
 			}
-		}
+		})
 	}
 }
 
@@ -295,27 +332,32 @@ func TestIncrementalSensitizationMatchesOracle(t *testing.T) {
 // outside the trail forces a full recomputation whose result matches the
 // oracle, and the engine continues incrementally afterwards.
 func TestClearPIResync(t *testing.T) {
-	rng := rand.New(rand.NewSource(91))
-	c := bench.MustSynthesize(bench.Profile{
-		Name: "eq-clr", Inputs: 10, Outputs: 5, Gates: 70, Depth: 8, Seed: 41,
-		InputFaninBias: 0.4, WideFaninFraction: 0.2, InverterFraction: 0.3,
-	})
-	st := NewState(c)
-	inputs := c.Inputs()
-	st.Reset(logic.AllLevels)
-	for i := 0; i < 6; i++ {
-		st.AddRequirement(circuit.NetID(rng.Intn(c.NumNets())), equivValues[rng.Intn(len(equivValues))], rng.Uint64())
-	}
-	for round := 0; round < 10; round++ {
-		for i := 0; i < 4; i++ {
-			st.AssignPI(inputs[rng.Intn(len(inputs))], equivValues[rng.Intn(len(equivValues))], rng.Uint64())
-		}
-		st.Imply()
-		st.ForwardSim()
-		assertMatchesOracle(t, st, "pre-clear")
-		st.ClearPI(rng.Uint64())
-		st.Imply()
-		st.ForwardSim()
-		assertMatchesOracle(t, st, "post-clear")
+	for _, width := range equivWidths {
+		width := width
+		t.Run(fmt.Sprintf("w%d", width), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(91 + width)))
+			c := bench.MustSynthesize(bench.Profile{
+				Name: "eq-clr", Inputs: 10, Outputs: 5, Gates: 70, Depth: 8, Seed: 41,
+				InputFaninBias: 0.4, WideFaninFraction: 0.2, InverterFraction: 0.3,
+			})
+			st := NewStateWidth(c, width)
+			inputs := c.Inputs()
+			st.Reset(logic.LevelsMask(width))
+			for i := 0; i < 6; i++ {
+				st.AddRequirement(circuit.NetID(rng.Intn(c.NumNets())), equivValues[rng.Intn(len(equivValues))], randMask(rng, width))
+			}
+			for round := 0; round < 10; round++ {
+				for i := 0; i < 4; i++ {
+					st.AssignPI(inputs[rng.Intn(len(inputs))], equivValues[rng.Intn(len(equivValues))], randMask(rng, width))
+				}
+				st.Imply()
+				st.ForwardSim()
+				assertMatchesOracle(t, st, "pre-clear")
+				st.ClearPI(randMask(rng, width))
+				st.Imply()
+				st.ForwardSim()
+				assertMatchesOracle(t, st, "post-clear")
+			}
+		})
 	}
 }

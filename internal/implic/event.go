@@ -87,18 +87,18 @@ func (s *State) seedImply() {
 	}
 	for i := 0; i < len(s.pendImply); i++ {
 		n := s.pendImply[i]
-		req := s.Req[n].SelectLevels(s.active)
-		if req != s.impReq[n] {
-			s.note(pImpReq, n, s.impReq[n])
-			s.impReq[n] = req
-			s.mergeVal(n, req)
+		req := s.loadFull(&s.req, n).SelectLevels(s.active)
+		if req != s.loadFull(&s.impReq, n) {
+			s.note(pImpReq, n)
+			s.store(&s.impReq, n, &req)
+			s.mergeVal(n, &req)
 		}
 		if s.c.IsInput(n) {
-			pi := s.PI[n].SelectLevels(s.active)
-			if pi != s.impPI[n] {
-				s.note(pImpPI, n, s.impPI[n])
-				s.impPI[n] = pi
-				s.mergeVal(n, pi)
+			pi := s.loadFull(&s.pi, n).SelectLevels(s.active)
+			if pi != s.loadFull(&s.impPI, n) {
+				s.note(pImpPI, n)
+				s.store(&s.impPI, n, &pi)
+				s.mergeVal(n, &pi)
 			}
 		}
 	}
@@ -124,7 +124,8 @@ func (s *State) runImplyRounds() {
 					n := b[i]
 					s.fwdQ[n] = false
 					s.fwdN--
-					s.mergeVal(n, s.evalGate(s.c.Gate(n), s.Val))
+					s.evalGate(s.c.Gate(n), &s.val)
+					s.mergeVal(n, &s.evalReg)
 				}
 				s.fwdB[lvl] = s.fwdB[lvl][:0]
 			}
@@ -160,13 +161,13 @@ func (s *State) runForwardSim() {
 	}
 	for i := 0; i < len(s.pendSim); i++ {
 		in := s.pendSim[i]
-		pi := s.PI[in].SelectLevels(s.active)
-		if pi == s.simPI[in] {
+		pi := s.loadFull(&s.pi, in).SelectLevels(s.active)
+		if pi == s.loadFull(&s.simPI, in) {
 			continue
 		}
-		s.note(pSimPI, in, s.simPI[in])
-		s.simPI[in] = pi
-		s.setSim(in, pi)
+		s.note(pSimPI, in)
+		s.store(&s.simPI, in, &pi)
+		s.setSim(in, &pi)
 	}
 	s.pendSim = s.pendSim[:0]
 	if s.simN == 0 {
@@ -178,7 +179,8 @@ func (s *State) runForwardSim() {
 			n := b[i]
 			s.simQ[n] = false
 			s.simN--
-			s.setSim(n, s.evalGate(s.c.Gate(n), s.Sim))
+			s.evalGate(s.c.Gate(n), &s.sim)
+			s.setSim(n, &s.evalReg)
 		}
 		s.simB[lvl] = s.simB[lvl][:0]
 	}

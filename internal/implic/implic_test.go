@@ -14,14 +14,14 @@ import (
 func TestForwardSimC17(t *testing.T) {
 	c := bench.C17()
 	st := NewState(c)
-	st.Reset(logic.LevelMask(4))
+	st.Reset(logic.LevelsMask(4))
 	// Level 0: 1=1 3=1 -> 10=0 ; 3=1 6=1 -> 11=0 ; 2=1 11=0 -> 16=1 ;
 	// 11=0 7=1 -> 19=1 ; 10=0 16=1 -> 22=1 ; 16=1 19=1 -> 23=0.
 	assign := map[string]logic.Value7{
 		"1": logic.Stable1, "2": logic.Stable1, "3": logic.Stable1, "6": logic.Stable1, "7": logic.Stable1,
 	}
 	for name, v := range assign {
-		st.AssignPI(c.NetByName(name), v, 1)
+		st.AssignPI(c.NetByName(name), v, logic.BitMask(0))
 	}
 	st.ForwardSim()
 	want := map[string]logic.Value7{
@@ -51,7 +51,7 @@ func TestForwardSimMatchesBooleanSim(t *testing.T) {
 	for _, p := range profiles {
 		c := bench.MustSynthesize(p)
 		st := NewState(c)
-		st.Reset(logic.AllLevels)
+		st.Reset(logic.LevelsMask(logic.WordWidth))
 		// One random stable vector per bit level.
 		vectors := make([]map[circuit.NetID]bool, logic.WordWidth)
 		for lvl := 0; lvl < logic.WordWidth; lvl++ {
@@ -63,7 +63,7 @@ func TestForwardSimMatchesBooleanSim(t *testing.T) {
 				if bit {
 					v = logic.Stable1
 				}
-				st.AssignPI(in, v, uint64(1)<<uint(lvl))
+				st.AssignPI(in, v, logic.BitMask(lvl))
 			}
 		}
 		st.ForwardSim()
@@ -99,20 +99,20 @@ func TestForwardSimMatchesBooleanSim(t *testing.T) {
 func TestImplyForwardConflict(t *testing.T) {
 	c := bench.C17()
 	st := NewState(c)
-	st.Reset(logic.LevelMask(2))
+	st.Reset(logic.LevelsMask(2))
 	// Level 0: require gate 10 (NAND of 1,3) to be 0 while its inputs force
 	// it to 1: 1=0 makes 10=1, so requiring 10=0 must conflict.
-	st.AssignPI(c.NetByName("1"), logic.Stable0, 1)
-	st.AddRequirement(c.NetByName("10"), logic.Final0, 1)
+	st.AssignPI(c.NetByName("1"), logic.Stable0, logic.BitMask(0))
+	st.AddRequirement(c.NetByName("10"), logic.Final0, logic.BitMask(0))
 	// Level 1: consistent assignment, no conflict.
-	st.AssignPI(c.NetByName("1"), logic.Stable1, 2)
-	st.AssignPI(c.NetByName("3"), logic.Stable1, 2)
-	st.AddRequirement(c.NetByName("10"), logic.Final0, 2)
+	st.AssignPI(c.NetByName("1"), logic.Stable1, logic.BitMask(1))
+	st.AssignPI(c.NetByName("3"), logic.Stable1, logic.BitMask(1))
+	st.AddRequirement(c.NetByName("10"), logic.Final0, logic.BitMask(1))
 	conf := st.Imply()
-	if conf&1 == 0 {
+	if !conf.Bit(0) {
 		t.Error("level 0 should conflict")
 	}
-	if conf&2 != 0 {
+	if conf.Bit(1) {
 		t.Error("level 1 should not conflict")
 	}
 }
@@ -120,23 +120,23 @@ func TestImplyForwardConflict(t *testing.T) {
 func TestImplyBackwardUniqueImplications(t *testing.T) {
 	c := bench.C17()
 	st := NewState(c)
-	st.Reset(1)
+	st.Reset(logic.LevelsMask(1))
 	// Requiring output 22 (NAND of 10,16) to be 0 forces both fanins to 1,
 	// so additionally requiring 10 = 0 is contradictory: 10 = 0 forces
 	// 22 = 1.  The engine must detect the conflict.
-	st.AddRequirement(c.NetByName("22"), logic.Final0, 1)
-	st.AddRequirement(c.NetByName("10"), logic.Final0, 1)
+	st.AddRequirement(c.NetByName("22"), logic.Final0, logic.BitMask(0))
+	st.AddRequirement(c.NetByName("10"), logic.Final0, logic.BitMask(0))
 	st.Imply()
-	if st.ConflictMask()&1 == 0 {
+	if !st.ConflictMask().Bit(0) {
 		t.Error("contradictory requirements on 22 and 10 should conflict")
 	}
 
-	st.Reset(1)
+	st.Reset(logic.LevelsMask(1))
 	// NAND output required 1 with one input already 1: the backward rule
 	// only fires when all other inputs are 1, so requiring 22=0 (both inputs
 	// 1) and then 16=1 is consistent; inputs 2,11 are not forced beyond what
 	// is necessary.
-	st.AddRequirement(c.NetByName("22"), logic.Final0, 1)
+	st.AddRequirement(c.NetByName("22"), logic.Final0, logic.BitMask(0))
 	st.Imply()
 	if got := st.ImpliedValue(c.NetByName("16")).Get(0).Final(); got != logic.One3 {
 		t.Errorf("16 should be implied to 1, got %v", got)
@@ -148,8 +148,8 @@ func TestImplyBackwardUniqueImplications(t *testing.T) {
 	if got := st.ImpliedValue(c.NetByName("1")).Get(0); got != logic.X7 {
 		t.Errorf("input 1 should stay unknown, got %v", got)
 	}
-	if st.ConflictMask() != 0 {
-		t.Errorf("no conflict expected, got mask %b", st.ConflictMask())
+	if !st.ConflictMask().IsZero() {
+		t.Errorf("no conflict expected, got mask %v", st.ConflictMask())
 	}
 }
 
@@ -167,8 +167,8 @@ func TestImplyStableBackward(t *testing.T) {
 		t.Fatal(err)
 	}
 	st := NewState(c)
-	st.Reset(1)
-	st.AddRequirement(z, logic.Stable1, 1)
+	st.Reset(logic.LevelsMask(1))
+	st.AddRequirement(z, logic.Stable1, logic.BitMask(0))
 	st.Imply()
 	if got := st.ImpliedValue(a).Get(0); got != logic.Stable1 {
 		t.Errorf("input a should be implied Stable1, got %v", got)
@@ -177,18 +177,18 @@ func TestImplyStableBackward(t *testing.T) {
 		t.Errorf("input b should be implied Stable1, got %v", got)
 	}
 
-	st.Reset(1)
-	st.AddRequirement(z, logic.Stable0, 1)
-	st.AssignPI(a, logic.Stable1, 1)
+	st.Reset(logic.LevelsMask(1))
+	st.AddRequirement(z, logic.Stable0, logic.BitMask(0))
+	st.AssignPI(a, logic.Stable1, logic.BitMask(0))
 	st.Imply()
 	if got := st.ImpliedValue(bb).Get(0); got != logic.Stable0 {
 		t.Errorf("input b should be implied Stable0, got %v", got)
 	}
 
 	// A falling output with the other input stable 1 implies a falling input.
-	st.Reset(1)
-	st.AddRequirement(z, logic.Fall7, 1)
-	st.AssignPI(a, logic.Stable1, 1)
+	st.Reset(logic.LevelsMask(1))
+	st.AddRequirement(z, logic.Fall7, logic.BitMask(0))
+	st.AssignPI(a, logic.Stable1, logic.BitMask(0))
 	st.Imply()
 	if got := st.ImpliedValue(bb).Get(0); got != logic.Fall7 {
 		t.Errorf("input b should be implied falling, got %v", got)
@@ -196,9 +196,9 @@ func TestImplyStableBackward(t *testing.T) {
 
 	// A rising output with one input stable implies the transition on the
 	// other input.
-	st.Reset(1)
-	st.AddRequirement(z, logic.Rise7, 1)
-	st.AssignPI(a, logic.Stable1, 1)
+	st.Reset(logic.LevelsMask(1))
+	st.AddRequirement(z, logic.Rise7, logic.BitMask(0))
+	st.AssignPI(a, logic.Stable1, logic.BitMask(0))
 	st.Imply()
 	if got := st.ImpliedValue(bb).Get(0); got != logic.Rise7 {
 		t.Errorf("input b should be implied rising, got %v", got)
@@ -223,16 +223,16 @@ func TestImplyOrNorXorBackward(t *testing.T) {
 	st := NewState(c)
 
 	// OR output 0 forces both inputs to 0.
-	st.Reset(1)
-	st.AddRequirement(o, logic.Final0, 1)
+	st.Reset(logic.LevelsMask(1))
+	st.AddRequirement(o, logic.Final0, logic.BitMask(0))
 	st.Imply()
 	if st.ImpliedValue(a).Get(0).Final() != logic.Zero3 || st.ImpliedValue(bb).Get(0).Final() != logic.Zero3 {
 		t.Error("OR output 0 should force both inputs to 0")
 	}
 
 	// NOR output 1 forces both inputs to 0 (and stability follows).
-	st.Reset(1)
-	st.AddRequirement(n, logic.Stable1, 1)
+	st.Reset(logic.LevelsMask(1))
+	st.AddRequirement(n, logic.Stable1, logic.BitMask(0))
 	st.Imply()
 	if st.ImpliedValue(a).Get(0) != logic.Stable0 || st.ImpliedValue(cc).Get(0) != logic.Stable0 {
 		t.Errorf("NOR output stable 1 should force stable 0 inputs, got %v %v",
@@ -240,16 +240,16 @@ func TestImplyOrNorXorBackward(t *testing.T) {
 	}
 
 	// XOR output with one known input forces the other.
-	st.Reset(1)
-	st.AddRequirement(x, logic.Final1, 1)
-	st.AssignPI(bb, logic.Stable0, 1)
+	st.Reset(logic.LevelsMask(1))
+	st.AddRequirement(x, logic.Final1, logic.BitMask(0))
+	st.AssignPI(bb, logic.Stable0, logic.BitMask(0))
 	st.Imply()
 	if got := st.ImpliedValue(cc).Get(0).Final(); got != logic.One3 {
 		t.Errorf("XOR backward implication failed: c = %v, want 1", got)
 	}
-	st.Reset(1)
-	st.AddRequirement(x, logic.Final0, 1)
-	st.AssignPI(bb, logic.Stable1, 1)
+	st.Reset(logic.LevelsMask(1))
+	st.AddRequirement(x, logic.Final0, logic.BitMask(0))
+	st.AssignPI(bb, logic.Stable1, logic.BitMask(0))
 	st.Imply()
 	if got := st.ImpliedValue(cc).Get(0).Final(); got != logic.One3 {
 		t.Errorf("XOR backward implication failed: c = %v, want 1", got)
@@ -270,7 +270,7 @@ func TestImplyConflictImpliesUnsatisfiable(t *testing.T) {
 	st := NewState(c)
 	checked := 0
 	for iter := 0; iter < 300; iter++ {
-		st.Reset(1)
+		st.Reset(logic.LevelsMask(1))
 		// Random nonrobust requirements on a few nets.
 		reqs := make(map[circuit.NetID]logic.Value3)
 		numReq := 1 + rng.Intn(4)
@@ -283,9 +283,9 @@ func TestImplyConflictImpliesUnsatisfiable(t *testing.T) {
 			reqs[net] = v // later requirements overwrite; fine for the test
 		}
 		for net, v := range reqs {
-			st.AddRequirement(net, logic.Value7From3(v), 1)
+			st.AddRequirement(net, logic.Value7From3(v), logic.BitMask(0))
 		}
-		if st.Imply()&1 == 0 {
+		if !st.Imply().Bit(0) {
 			continue // no conflict claimed, nothing to verify
 		}
 		checked++
@@ -328,14 +328,14 @@ func TestImplyConflictImpliesUnsatisfiable(t *testing.T) {
 func TestJustifiedMaskAndUnjustified(t *testing.T) {
 	c := bench.C17()
 	st := NewState(c)
-	st.Reset(logic.LevelMask(2))
+	st.Reset(logic.LevelsMask(2))
 	// Level 0 requirement: net 16 = 1.  Level 1 requirement: net 16 = 0.
 	n16 := c.NetByName("16")
-	st.AddRequirement(n16, logic.Final1, 1)
-	st.AddRequirement(n16, logic.Final0, 2)
+	st.AddRequirement(n16, logic.Final1, logic.BitMask(0))
+	st.AddRequirement(n16, logic.Final0, logic.BitMask(1))
 	st.Imply()
 	st.ForwardSim()
-	if st.JustifiedMask() != 0 {
+	if !st.JustifiedMask().IsZero() {
 		t.Error("nothing should be justified before any input assignment")
 	}
 	unj := st.Unjustified(0)
@@ -343,21 +343,21 @@ func TestJustifiedMaskAndUnjustified(t *testing.T) {
 		t.Errorf("Unjustified(0) = %v, want [16]", unj)
 	}
 	// Setting input 2 = 0 makes 16 = NAND(2,11) = 1: level 0 justified.
-	st.AssignPI(c.NetByName("2"), logic.Stable0, 1)
+	st.AssignPI(c.NetByName("2"), logic.Stable0, logic.BitMask(0))
 	st.Imply()
 	st.ForwardSim()
-	if st.JustifiedMask()&1 == 0 {
+	if !st.JustifiedMask().Bit(0) {
 		t.Error("level 0 should be justified after assigning 2=0")
 	}
-	if st.JustifiedMask()&2 != 0 {
+	if st.JustifiedMask().Bit(1) {
 		t.Error("level 1 should not be justified")
 	}
 	// Level 1: 16=0 needs 2=1 and 11=1, 11=1 needs 3=0 or 6=0.
-	st.AssignPI(c.NetByName("2"), logic.Stable1, 2)
-	st.AssignPI(c.NetByName("3"), logic.Stable0, 2)
+	st.AssignPI(c.NetByName("2"), logic.Stable1, logic.BitMask(1))
+	st.AssignPI(c.NetByName("3"), logic.Stable0, logic.BitMask(1))
 	st.Imply()
 	st.ForwardSim()
-	if st.JustifiedMask()&2 == 0 {
+	if !st.JustifiedMask().Bit(1) {
 		t.Error("level 1 should be justified after assigning 2=1, 3=0")
 	}
 	if len(st.Unjustified(1)) != 0 {
@@ -381,11 +381,11 @@ func TestSensitizedFaultRedundantByImplication(t *testing.T) {
 		t.Fatal(err)
 	}
 	st := NewState(c)
-	st.Reset(1)
+	st.Reset(logic.LevelsMask(1))
 	for _, asg := range cond.Assignments {
-		st.AddRequirement(asg.Net, asg.Value, 1)
+		st.AddRequirement(asg.Net, asg.Value, logic.BitMask(0))
 	}
-	if st.Imply()&1 == 0 {
+	if !st.Imply().Bit(0) {
 		t.Error("the implication engine should prove this fault redundant")
 	}
 }
@@ -393,29 +393,29 @@ func TestSensitizedFaultRedundantByImplication(t *testing.T) {
 func TestStateResetAndMarkConflict(t *testing.T) {
 	c := bench.C17()
 	st := NewState(c)
-	st.Reset(logic.LevelMask(8))
-	if st.Active() != logic.LevelMask(8) {
+	st.Reset(logic.LevelsMask(8))
+	if st.Active() != logic.LevelsMask(8) {
 		t.Error("active mask not stored")
 	}
-	st.MarkConflict(0b100)
-	if st.ConflictMask() != 0b100 {
+	st.MarkConflict(logic.BitMask(2))
+	if st.ConflictMask() != logic.BitMask(2) {
 		t.Error("MarkConflict not visible")
 	}
-	st.AssignPI(c.NetByName("1"), logic.Stable1, logic.AllLevels)
+	st.AssignPI(c.NetByName("1"), logic.Stable1, logic.LevelsMask(logic.WordWidth))
 	if got := st.PIValue(c.NetByName("1")); got.Get(7) != logic.Stable1 || got.Get(8) != logic.X7 {
 		t.Error("PI assignment should be clipped to the active mask")
 	}
 	// Assigning a non-input net is ignored.
-	st.AssignPI(c.NetByName("22"), logic.Stable1, 1)
-	if st.PIValue(c.NetByName("22")) != (logic.Word7{}) {
+	st.AssignPI(c.NetByName("22"), logic.Stable1, logic.BitMask(0))
+	if st.PIValue(c.NetByName("22")) != (logic.Word7V{}) {
 		t.Error("assigning a gate output as PI should be ignored")
 	}
-	st.ClearPI(logic.AllLevels)
-	if st.PIValue(c.NetByName("1")) != (logic.Word7{}) {
+	st.ClearPI(logic.LevelsMask(logic.WordWidth))
+	if st.PIValue(c.NetByName("1")) != (logic.Word7V{}) {
 		t.Error("ClearPI should clear assignments")
 	}
-	st.Reset(1)
-	if st.ConflictMask() != 0 {
+	st.Reset(logic.LevelsMask(1))
+	if !st.ConflictMask().IsZero() {
 		t.Error("Reset should clear conflicts")
 	}
 	if st.Circuit() != c {
@@ -430,14 +430,14 @@ func BenchmarkImplyC880Class(b *testing.B) {
 	fs := paths.SampleFaults(c, 64, 1)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		st.Reset(logic.AllLevels)
+		st.Reset(logic.LevelsMask(logic.WordWidth))
 		for lvl, f := range fs {
 			cond, err := sensitize.Sensitize(c, f, sensitize.Robust)
 			if err != nil {
 				b.Fatal(err)
 			}
 			for _, asg := range cond.Assignments {
-				st.AddRequirement(asg.Net, asg.Value, uint64(1)<<uint(lvl))
+				st.AddRequirement(asg.Net, asg.Value, logic.BitMask(lvl))
 			}
 		}
 		st.Imply()

@@ -6,7 +6,7 @@ import (
 )
 
 // This file implements the assignment trail: Assign opens a frame, every
-// subsequent plane write records the overwritten word once per frame, and
+// subsequent plane write records the overwritten window once per frame, and
 // Undo restores the exact pre-frame state.  The generator's backtracking
 // undoes decisions instead of resetting and re-implying from scratch.
 
@@ -26,18 +26,41 @@ const (
 type frame struct {
 	seq             int64
 	trailLen        int
-	reqNetsLen      int
-	conflict        uint64
-	valConflict     uint64
+	trailWLen       int
+	reqNetsWLen     [logic.MaxK]int32
+	conflict        logic.Mask
+	valConflict     logic.Mask
 	constsSeeded    bool
 	simConstsSeeded bool
 }
 
-// trailEntry records the first overwrite of one plane word within a frame.
+// trailEntry records the first overwrite of one plane window within a frame.
+// The saved words live in the parallel trailW buffer: 4*ka words per entry,
+// the four bit planes interleaved per word (Zero, One, Stable, Instable).
+// ka is constant between Resets and Reset clears the trail, so entry sizes
+// never mix within one trail.
 type trailEntry struct {
 	net   circuit.NetID
 	plane uint8
-	old   logic.Word7
+}
+
+func (s *State) planeByID(plane uint8) *planes7 {
+	switch plane {
+	case pReq:
+		return &s.req
+	case pPI:
+		return &s.pi
+	case pVal:
+		return &s.val
+	case pSim:
+		return &s.sim
+	case pImpReq:
+		return &s.impReq
+	case pImpPI:
+		return &s.impPI
+	default:
+		return &s.simPI
+	}
 }
 
 // touch marks a net dirty so Reset clears it.
@@ -48,18 +71,27 @@ func (s *State) touch(net circuit.NetID) {
 	}
 }
 
-// note is the write barrier called before every plane write: it marks the
-// net dirty and, when a trail frame is open, records the overwritten word
-// (only the first write per plane, net and frame is recorded — that is the
-// value Undo restores).
-func (s *State) note(plane uint8, net circuit.NetID, old logic.Word7) {
+// note is the write barrier called immediately before every plane write: it
+// marks the net dirty and, when a trail frame is open, records the current
+// window (only the first write per plane, net and frame is recorded — that
+// is the value Undo restores).
+func (s *State) note(plane uint8, net circuit.NetID) {
 	s.touch(net)
-	if n := len(s.frames); n > 0 {
-		seq := s.frames[n-1].seq
-		if s.stamps[plane][net] != seq {
-			s.stamps[plane][net] = seq
-			s.trail = append(s.trail, trailEntry{net: net, plane: plane, old: old})
-		}
+	n := len(s.frames)
+	if n == 0 {
+		return
+	}
+	seq := s.frames[n-1].seq
+	if s.stamps[plane][net] == seq {
+		return
+	}
+	s.stamps[plane][net] = seq
+	s.trail = append(s.trail, trailEntry{net: net, plane: plane})
+	p := s.planeByID(plane)
+	ka, off := s.ka, s.off(net)
+	for w := 0; w < ka; w++ {
+		o := off + w
+		s.trailW = append(s.trailW, p.zero[o], p.one[o], p.stable[o], p.instable[o])
 	}
 }
 
@@ -69,58 +101,67 @@ func (s *State) note(plane uint8, net circuit.NetID, old logic.Word7) {
 // one per decision.
 func (s *State) Assign() {
 	s.frameSeq++
-	s.frames = append(s.frames, frame{
+	f := frame{
 		seq:             s.frameSeq,
 		trailLen:        len(s.trail),
-		reqNetsLen:      len(s.reqNets),
+		trailWLen:       len(s.trailW),
 		conflict:        s.conflict,
 		valConflict:     s.valConflict,
 		constsSeeded:    s.constsSeeded,
 		simConstsSeeded: s.simConstsSeeded,
-	})
+	}
+	for w := 0; w < s.ka; w++ {
+		f.reqNetsWLen[w] = int32(len(s.reqNetsW[w]))
+	}
+	s.frames = append(s.frames, f)
 }
 
 // Depth returns the number of open trail frames.
 func (s *State) Depth() int { return len(s.frames) }
 
-// Undo restores the state at the matching Assign: all plane words, the
+// Undo restores the state at the matching Assign: all plane windows, the
 // conflict masks and the requirement bookkeeping.  Nets whose restored
 // Req/PI may disagree with what the closure or the simulation absorbed are
 // re-queued, so the next Imply/ForwardSim reconciles them.  Undo without an
 // open frame is a no-op.
+//
+//atpgvet:noalloc
 func (s *State) Undo() {
 	n := len(s.frames)
 	if n == 0 {
 		return
 	}
 	f := s.frames[n-1]
+	ka := s.ka
 	for i := len(s.trail) - 1; i >= f.trailLen; i-- {
 		e := s.trail[i]
+		p := s.planeByID(e.plane)
+		wbase := len(s.trailW) - 4*ka
+		off := s.off(e.net)
+		for w := 0; w < ka; w++ {
+			b := wbase + 4*w
+			o := off + w
+			p.zero[o] = s.trailW[b]
+			p.one[o] = s.trailW[b+1]
+			p.stable[o] = s.trailW[b+2]
+			p.instable[o] = s.trailW[b+3]
+		}
+		s.trailW = s.trailW[:wbase]
 		switch e.plane {
-		case pReq:
-			s.Req[e.net] = e.old
+		case pReq, pImpReq, pImpPI:
 			s.pendImply = append(s.pendImply, e.net)
 		case pPI:
-			s.PI[e.net] = e.old
 			s.pendImply = append(s.pendImply, e.net)
 			s.pendSim = append(s.pendSim, e.net)
-		case pVal:
-			s.Val[e.net] = e.old
-		case pSim:
-			s.Sim[e.net] = e.old
-		case pImpReq:
-			s.impReq[e.net] = e.old
-			s.pendImply = append(s.pendImply, e.net)
-		case pImpPI:
-			s.impPI[e.net] = e.old
-			s.pendImply = append(s.pendImply, e.net)
 		case pSimPI:
-			s.simPI[e.net] = e.old
 			s.pendSim = append(s.pendSim, e.net)
 		}
 	}
 	s.trail = s.trail[:f.trailLen]
-	s.reqNets = s.reqNets[:f.reqNetsLen]
+	s.trailW = s.trailW[:f.trailWLen]
+	for w := 0; w < ka; w++ {
+		s.reqNetsW[w] = s.reqNetsW[w][:f.reqNetsWLen[w]]
+	}
 	s.conflict = f.conflict
 	s.valConflict = f.valConflict
 	s.constsSeeded = f.constsSeeded

@@ -98,7 +98,7 @@ func DecodeFaults(c *circuit.Circuit, wfs []WireFault) ([]paths.Fault, error) {
 // valid configuration; the No* spellings keep "enabled" the zero value.
 type JobOptions struct {
 	Mode            string `json:"mode,omitempty"`         // "robust" (default) or "nonrobust"
-	WordWidth       int    `json:"word_width,omitempty"`   // 1..64; 0 = 64
+	WordWidth       int    `json:"word_width,omitempty"`   // 1..logic.MaxWordWidth; 0 = 64
 	Backtracks      int    `json:"backtracks,omitempty"`   // APTPG backtrack limit; 0 = default
 	NoFPTPG         bool   `json:"no_fptpg,omitempty"`     // disable the fault-parallel phase
 	NoAPTPG         bool   `json:"no_aptpg,omitempty"`     // disable the alternative-parallel phase
@@ -127,8 +127,8 @@ func (o JobOptions) ToCore() (core.Options, error) {
 	}
 	opts := core.DefaultOptions(mode)
 	if o.WordWidth != 0 {
-		if o.WordWidth < 1 || o.WordWidth > logic.WordWidth {
-			return core.Options{}, fmt.Errorf("service: word width %d out of range 1..%d", o.WordWidth, logic.WordWidth)
+		if o.WordWidth < 1 || o.WordWidth > logic.MaxWordWidth {
+			return core.Options{}, fmt.Errorf("service: word width %d out of range 1..%d", o.WordWidth, logic.MaxWordWidth)
 		}
 		opts.WordWidth = o.WordWidth
 	}
@@ -156,8 +156,8 @@ func (o JobOptions) ToCore() (core.Options, error) {
 		opts.Schedule = p
 	}
 	if o.Escalate != 0 {
-		if o.Escalate < 0 || o.Escalate > logic.WordWidth {
-			return core.Options{}, fmt.Errorf("service: escalation width %d out of range 0..%d", o.Escalate, logic.WordWidth)
+		if o.Escalate < 0 || o.Escalate > logic.MaxWordWidth {
+			return core.Options{}, fmt.Errorf("service: escalation width %d out of range 0..%d", o.Escalate, logic.MaxWordWidth)
 		}
 		opts.EscalationWidth = o.Escalate
 	}

@@ -274,11 +274,12 @@ func HardThreshold(scores []int) int {
 
 // AutoWidth derives an escalation width from the predicted-hard fault count:
 // the smallest power of two covering the hard tail, clamped to [4,
-// logic.WordWidth].  A handful of hard faults shares one narrow word; a long
-// tail gets the full machine word.
+// logic.MaxWordWidth].  A handful of hard faults shares one narrow word; a
+// long tail gets multi-word plane vectors up to the widest supported level
+// count.
 func AutoWidth(nHard int) int {
 	w := 4
-	for w < nHard && w < logic.WordWidth {
+	for w < nHard && w < logic.MaxWordWidth {
 		w *= 2
 	}
 	return w
